@@ -1,0 +1,110 @@
+//! Criterion benches for the concurrent reducers (Figure 2's claim on
+//! real hardware) and the Sibling-vs-Tree expansion ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtt_duration::expand::{expand_reducers, ReducerVariant};
+use rtt_reducer::{BinaryReducer, KWayReducer, LockCell, SlowAdd};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const N_UPDATES: u64 = 1 << 14;
+const SPIN: u32 = 64; // make each update "significantly dominate"
+
+fn drive<R: Sync>(r: &R, threads: usize, f: impl Fn(&R, u64) + Sync) {
+    let counter = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = counter.fetch_add(1, Ordering::Relaxed);
+                if i >= N_UPDATES {
+                    break;
+                }
+                f(r, i);
+            });
+        }
+    });
+}
+
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4)
+}
+
+/// The paper's baseline: one lock serializes everything.
+fn bench_lock_baseline(c: &mut Criterion) {
+    let t = threads();
+    c.bench_function("reducer/lock_baseline", |b| {
+        b.iter(|| {
+            let cell = LockCell::new(SlowAdd { spin: SPIN });
+            drive(&cell, t, |c, x| c.update(x));
+            cell.into_value()
+        });
+    });
+}
+
+/// Figure 2: binary reducer throughput vs height (space = 2^h).
+fn bench_binary_heights(c: &mut Criterion) {
+    let t = threads();
+    let mut group = c.benchmark_group("reducer/binary_height");
+    for &h in &[0u32, 1, 2, 3, 4, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
+            b.iter(|| {
+                let r = BinaryReducer::new(SlowAdd { spin: SPIN }, h, N_UPDATES);
+                drive(&r, t, |r, x| r.update(x));
+                r.into_value()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Eq. 2: k-way split reducer throughput vs width.
+fn bench_kway_widths(c: &mut Criterion) {
+    let t = threads();
+    let mut group = c.benchmark_group("reducer/kway_width");
+    for &k in &[1usize, 2, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let r = KWayReducer::new(SlowAdd { spin: SPIN }, k);
+                drive(&r, t, |r, x| r.update(x));
+                r.into_value()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the §1 sibling trick vs the naive full tree — same height,
+/// different space and critical path (construction + makespan eval).
+fn bench_expansion_ablation(c: &mut Criterion) {
+    let mut g: rtt_dag::Dag<(), ()> = rtt_dag::Dag::new();
+    let hub = g.add_node(());
+    for _ in 0..4096 {
+        let s = g.add_node(());
+        g.add_edge(s, hub, ()).unwrap();
+    }
+    let mut heights = vec![0u32; g.node_count()];
+    heights[hub.index()] = 6;
+    let mut group = c.benchmark_group("reducer/expansion_ablation");
+    for (name, variant) in [
+        ("sibling", ReducerVariant::Sibling),
+        ("tree", ReducerVariant::Tree),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let exp = expand_reducers(&g, &heights, variant);
+                (exp.extra_space, exp.makespan())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lock_baseline,
+    bench_binary_heights,
+    bench_kway_widths,
+    bench_expansion_ablation
+);
+criterion_main!(benches);

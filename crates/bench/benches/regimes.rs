@@ -1,0 +1,90 @@
+//! Criterion benches for the reuse-regime baselines (Questions 1.1/1.2)
+//! against the paper's path-reuse solvers (Question 1.3), plus the
+//! series-parallel DP ablation: the §3.4 series rule is O(B) per node
+//! while the classical no-reuse rule is O(B²) — reuse over paths makes
+//! the DP *cheaper*, not just the schedules faster.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rtt_core::instance::{Activity, ArcInstance};
+use rtt_core::regimes::{global_reuse_schedule, sp_noreuse_curve, GlobalPolicy};
+use rtt_core::sp_dp::solve_sp_exact;
+use rtt_core::transform::to_arc_form;
+use rtt_core::Instance;
+use rtt_dag::gen;
+use rtt_duration::Duration;
+
+fn race_instance(seed: u64, nodes: usize) -> ArcInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tt = gen::random_race_dag(&mut rng, nodes, nodes * 2);
+    let mut g = rtt_dag::Dag::new();
+    for _ in tt.dag.node_ids() {
+        g.add_node(());
+    }
+    for e in tt.dag.edge_refs() {
+        let copies = rng.random_range(1..8usize);
+        g.add_parallel_edges(e.src, e.dst, (), copies).unwrap();
+    }
+    let inst = Instance::race_dag(&g, Duration::recursive_binary).unwrap();
+    to_arc_form(&inst).0
+}
+
+fn sp_instance(seed: u64, leaves: usize) -> ArcInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gsp = gen::random_sp(&mut rng, leaves);
+    let mut g: rtt_dag::Dag<(), Activity> = rtt_dag::Dag::new();
+    for _ in gsp.tt.dag.node_ids() {
+        g.add_node(());
+    }
+    for e in gsp.tt.dag.edge_refs() {
+        let base = 10 + (e.id.index() as u64 * 7) % 40;
+        g.add_edge(e.src, e.dst, Activity::new(Duration::two_point(base, 4, 0)))
+            .unwrap();
+    }
+    ArcInstance::new(g).unwrap()
+}
+
+/// The greedy global-pool scheduler scales near-linearly in |E|.
+fn bench_global_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regimes/global_scheduler");
+    for &nodes in &[16usize, 64, 256] {
+        let arc = race_instance(nodes as u64, nodes);
+        group.bench_with_input(BenchmarkId::new("eager", nodes), &arc, |b, arc| {
+            b.iter(|| global_reuse_schedule(arc, 32, GlobalPolicy::Eager));
+        });
+        group.bench_with_input(BenchmarkId::new("patient", nodes), &arc, |b, arc| {
+            b.iter(|| global_reuse_schedule(arc, 32, GlobalPolicy::Patient));
+        });
+    }
+    group.finish();
+}
+
+/// DP ablation: reuse-over-paths DP (§3.4, series = O(B)) vs classical
+/// no-reuse DP (series = O(B²)) on the same instances — the asymptotic
+/// gap shows up as B grows at fixed m.
+fn bench_sp_dp_regimes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regimes/sp_dp");
+    group.sample_size(10);
+    let arc = sp_instance(7, 100);
+    for &budget in &[64u64, 128, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("reuse_paths", budget),
+            &budget,
+            |b, &budget| {
+                b.iter(|| solve_sp_exact(&arc, budget).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("no_reuse", budget),
+            &budget,
+            |b, &budget| {
+                b.iter(|| sp_noreuse_curve(&arc, budget).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_global_scheduler, bench_sp_dp_regimes);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Criterion benches for the paper's solvers: the LP+rounding pipeline
+//! (Thm 3.4), the family-specific approximations, the §3.4 DP (the
+//! O(mB²) claim), and the exact reference solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rtt_core::instance::{Activity, ArcInstance};
+use rtt_core::sp_dp::solve_sp_exact;
+use rtt_core::transform::to_arc_form;
+use rtt_core::{solve_bicriteria, solve_kway_5approx, solve_recbinary_4approx, Instance};
+use rtt_dag::gen;
+use rtt_duration::Duration;
+
+fn race_instance(seed: u64, nodes: usize, family: fn(u64) -> Duration) -> ArcInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tt = gen::random_race_dag(&mut rng, nodes, nodes * 2);
+    let mut g = rtt_dag::Dag::new();
+    for _ in tt.dag.node_ids() {
+        g.add_node(());
+    }
+    for e in tt.dag.edge_refs() {
+        let copies = rng.random_range(1..8usize);
+        g.add_parallel_edges(e.src, e.dst, (), copies).unwrap();
+    }
+    let inst = Instance::race_dag(&g, family).unwrap();
+    to_arc_form(&inst).0
+}
+
+fn bench_bicriteria_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bicriteria_thm34");
+    group.sample_size(10);
+    for &nodes in &[8usize, 16, 32] {
+        let arc = race_instance(nodes as u64, nodes, Duration::recursive_binary);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &arc, |b, arc| {
+            b.iter(|| solve_bicriteria(arc, 16, 0.5).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_criteria(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_criteria");
+    group.sample_size(10);
+    let kway = race_instance(99, 16, Duration::kway);
+    group.bench_function("kway_5approx_thm39", |b| {
+        b.iter(|| solve_kway_5approx(&kway, 16).unwrap());
+    });
+    let recb = race_instance(77, 16, Duration::recursive_binary);
+    group.bench_function("recbinary_4approx_thm310", |b| {
+        b.iter(|| solve_recbinary_4approx(&recb, 16).unwrap());
+    });
+    group.finish();
+}
+
+fn sp_instance(seed: u64, leaves: usize) -> ArcInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gsp = gen::random_sp(&mut rng, leaves);
+    let mut g: rtt_dag::Dag<(), Activity> = rtt_dag::Dag::new();
+    for _ in gsp.tt.dag.node_ids() {
+        g.add_node(());
+    }
+    for e in gsp.tt.dag.edge_refs() {
+        let base = 10 + (e.id.index() as u64 * 7) % 40;
+        g.add_edge(e.src, e.dst, Activity::new(Duration::two_point(base, 4, 0)))
+            .unwrap();
+    }
+    ArcInstance::new(g).unwrap()
+}
+
+/// The O(mB²) claim: time should scale ~linearly in m at fixed B and
+/// ~quadratically in B at fixed m.
+fn bench_sp_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sp_dp_section34");
+    group.sample_size(10);
+    for &m in &[50usize, 100, 200] {
+        let arc = sp_instance(m as u64, m);
+        group.bench_with_input(BenchmarkId::new("vary_m_B128", m), &arc, |b, arc| {
+            b.iter(|| solve_sp_exact(arc, 128).unwrap());
+        });
+    }
+    let arc = sp_instance(4242, 100);
+    for &budget in &[64u64, 128, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("vary_B_m100", budget),
+            &budget,
+            |b, &budget| {
+                b.iter(|| solve_sp_exact(&arc, budget).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_exact_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_reference");
+    group.sample_size(10);
+    for &nodes in &[4usize, 5, 6] {
+        let arc = race_instance(nodes as u64 * 3, nodes, Duration::recursive_binary);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &arc, |b, arc| {
+            b.iter(|| rtt_core::exact::solve_exact(arc, 6));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bicriteria_pipeline,
+    bench_single_criteria,
+    bench_sp_dp,
+    bench_exact_reference
+);
+criterion_main!(benches);

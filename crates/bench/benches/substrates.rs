@@ -1,0 +1,104 @@
+//! Criterion benches for the substrate crates: LP simplex, network
+//! flows, series-parallel decomposition, longest paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rtt_dag::gen;
+use rtt_flow::{max_flow, min_flow, BoundedEdge};
+use rtt_lp::Problem;
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_simplex");
+    for &n in &[10usize, 30, 60] {
+        // a transportation-like LP: n supply rows, n demand rows,
+        // n² route variables
+        group.bench_with_input(BenchmarkId::new("transport", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(n as u64);
+            let costs: Vec<f64> = (0..n * n).map(|_| rng.random_range(1.0..10.0)).collect();
+            b.iter(|| {
+                let mut p = Problem::minimize(n * n);
+                for (j, &cst) in costs.iter().enumerate() {
+                    p.set_objective(j, cst);
+                }
+                for i in 0..n {
+                    let row: Vec<(usize, f64)> =
+                        (0..n).map(|j| (i * n + j, 1.0)).collect();
+                    p.add_eq(&row, 5.0);
+                    let col: Vec<(usize, f64)> =
+                        (0..n).map(|j| (j * n + i, 1.0)).collect();
+                    p.add_eq(&col, 5.0);
+                }
+                p.solve().expect_optimal("transport LP is feasible")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_flows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_flow");
+    for &n in &[50usize, 200, 800] {
+        // layered random networks
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let tt = gen::layered(&mut rng, 8, n / 8, 0.3);
+        let edges: Vec<(usize, usize, u64)> = tt
+            .dag
+            .edge_refs()
+            .map(|e| (e.src.index(), e.dst.index(), 1 + (e.id.index() as u64 % 10)))
+            .collect();
+        let nn = tt.dag.node_count();
+        let (s, t) = (tt.source.index(), tt.sink.index());
+        group.bench_with_input(BenchmarkId::new("dinic_max_flow", n), &edges, |b, edges| {
+            b.iter(|| max_flow(nn, edges, s, t));
+        });
+        let bounded: Vec<BoundedEdge> = edges
+            .iter()
+            .map(|&(u, v, c)| BoundedEdge::at_least(u, v, c % 4))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("min_flow_lb", n), &bounded, |b, bounded| {
+            b.iter(|| min_flow(nn, bounded, s, t).expect("feasible"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sp_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sp_decompose");
+    for &m in &[100usize, 1000, 5000] {
+        let mut rng = StdRng::seed_from_u64(m as u64);
+        let gsp = gen::random_sp(&mut rng, m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &gsp, |b, gsp| {
+            b.iter(|| {
+                rtt_dag::sp::decompose(&gsp.tt.dag, gsp.tt.source, gsp.tt.sink)
+                    .expect("generated SP")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_longest_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("longest_path");
+    for &n in &[1_000usize, 10_000] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let tt = gen::random_race_dag(&mut rng, n, 2 * n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tt, |b, tt| {
+            b.iter(|| {
+                rtt_dag::longest_path_nodes(&tt.dag, |v| tt.dag.in_degree(v) as u64)
+                    .unwrap()
+                    .weight
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lp,
+    bench_flows,
+    bench_sp_decompose,
+    bench_longest_path
+);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! # rtt-bench — the reproduction harness
+//!
+//! One function per table/figure of the paper; each returns the rows it
+//! printed so tests can assert on them. The `repro` binary dispatches to
+//! these; `EXPERIMENTS.md` records their output. Criterion benches for
+//! the substrates and solvers live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;

@@ -1,0 +1,22 @@
+//! # rtt-cli — command-line front end for the resource-time tradeoff
+//!
+//! A small JSON instance format ([`spec`]) plus the `rtt` binary:
+//!
+//! ```text
+//! rtt gen --kind race --nodes 8 --seed 7 > instance.json
+//! rtt info instance.json
+//! rtt solve instance.json --budget 8 --solver exact --plan
+//! rtt min-resource instance.json --target 10
+//! rtt regimes instance.json --budget 8
+//! rtt dot instance.json | dot -Tpng > instance.png
+//! ```
+//!
+//! The format is documented on [`spec::InstanceSpec`]; everything the
+//! binary does is also available as library calls for embedding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod spec;
+
+pub use spec::{DurationSpec, EdgeSpec, Form, InstanceSpec, NodeSpec, SpecError};

@@ -1,0 +1,273 @@
+//! `rtt` — solve resource-time tradeoff instances from the shell.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtt_cli::InstanceSpec;
+use rtt_core::regimes::compare_regimes;
+use rtt_core::{routing_plan, validate, ArcInstance};
+use rtt_dag::gen;
+use rtt_duration::Duration;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+rtt — the discrete resource-time tradeoff with resource reuse over paths
+
+USAGE:
+  rtt gen --kind <race|layered|sp|chain> [--nodes N] [--seed S] [--family <recbinary|kway>]
+  rtt info <instance.json>
+  rtt solve <instance.json> --budget B [--solver <exact|bicriteria|kway|recbinary|improved|sp>]
+            [--alpha A] [--plan]
+  rtt min-resource <instance.json> --target T [--alpha A]
+  rtt regimes <instance.json> --budget B
+  rtt dot <instance.json>
+
+Instances are JSON (see rtt-cli docs). `gen` writes one to stdout.";
+
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+    switches: std::collections::HashSet<String>,
+}
+
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::HashMap::new();
+    let mut switches = std::collections::HashSet::new();
+    let mut it = raw.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            // a flag with a value unless followed by another flag / end
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    flags.insert(name.to_string(), it.next().unwrap().clone());
+                }
+                _ => {
+                    switches.insert(name.to_string());
+                }
+            }
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok(Args {
+        positional,
+        flags,
+        switches,
+    })
+}
+
+impl Args {
+    fn flag<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value for --{name}: {v}")),
+        }
+    }
+
+    fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        self.flag(name)?
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+}
+
+fn load(path: &str) -> Result<ArcInstance, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let spec: InstanceSpec =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    spec.build().map_err(|e| format!("building {path}: {e}"))
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let kind: String = args.require("kind")?;
+    let nodes: usize = args.flag("nodes")?.unwrap_or(8);
+    let seed: u64 = args.flag("seed")?.unwrap_or(42);
+    let family: String = args.flag("family")?.unwrap_or_else(|| "recbinary".into());
+    let fam: fn(u64) -> Duration = match family.as_str() {
+        "recbinary" => Duration::recursive_binary,
+        "kway" => Duration::kway,
+        other => return Err(format!("unknown family {other}")),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tt = match kind.as_str() {
+        "race" => gen::random_race_dag(&mut rng, nodes, nodes),
+        "layered" => gen::layered(&mut rng, 4, nodes.div_ceil(4).max(1), 0.4),
+        "sp" => gen::random_sp(&mut rng, nodes.max(1)).tt,
+        "chain" => gen::chain(nodes.max(1)),
+        other => return Err(format!("unknown kind {other}")),
+    };
+    // duplicate edges to create real contention, then attach durations
+    let inst = rtt_core::Instance::race_dag(&tt.dag, fam)
+        .map_err(|e| format!("generated graph rejected: {e}"))?;
+    let (arc, _) = rtt_core::to_arc_form(&inst);
+    let spec = InstanceSpec::from_arc(&arc);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&spec).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("missing instance path")?
+        .clone();
+    let arc = load(&path)?;
+    let d = arc.dag();
+    println!("nodes:            {}", d.node_count());
+    println!("arcs:             {}", d.edge_count());
+    println!("improvable jobs:  {}", arc.improvable_edges().len());
+    println!("base makespan:    {}", arc.base_makespan());
+    println!("ideal makespan:   {}", arc.ideal_makespan());
+    println!("saturation budget:{}", arc.saturation_budget());
+    match arc.dominant_kind() {
+        Some(k) => println!("duration family:  {k:?}"),
+        None => println!("duration family:  mixed"),
+    }
+    Ok(())
+}
+
+fn cmd_solve(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("missing instance path")?
+        .clone();
+    let arc = load(&path)?;
+    let budget: u64 = args.require("budget")?;
+    let alpha: f64 = args.flag("alpha")?.unwrap_or(0.5);
+    let solver: String = args.flag("solver")?.unwrap_or_else(|| "bicriteria".into());
+    let sol = match solver.as_str() {
+        "exact" => rtt_core::exact::solve_exact(&arc, budget).solution,
+        "bicriteria" => {
+            let r = rtt_core::solve_bicriteria(&arc, budget, alpha)
+                .map_err(|e| e.to_string())?;
+            println!("LP lower bound:   {:.3}", r.lp_makespan);
+            r.solution
+        }
+        "kway" => {
+            let r = rtt_core::solve_kway_5approx(&arc, budget).map_err(|e| e.to_string())?;
+            println!("LP lower bound:   {:.3}", r.lp_makespan);
+            r.solution
+        }
+        "recbinary" => {
+            let r =
+                rtt_core::solve_recbinary_4approx(&arc, budget).map_err(|e| e.to_string())?;
+            println!("LP lower bound:   {:.3}", r.lp_makespan);
+            r.solution
+        }
+        "improved" => {
+            let r =
+                rtt_core::solve_recbinary_improved(&arc, budget).map_err(|e| e.to_string())?;
+            println!("LP lower bound:   {:.3}", r.lp_makespan);
+            r.solution
+        }
+        "sp" => {
+            let (_, sol) = rtt_core::sp_dp::solve_sp_exact(&arc, budget)
+                .ok_or("instance is not two-terminal series-parallel")?;
+            sol
+        }
+        other => return Err(format!("unknown solver {other}")),
+    };
+    validate(&arc, &sol).map_err(|e| format!("internal: produced invalid solution: {e}"))?;
+    println!("makespan:         {}", sol.makespan);
+    println!("budget used:      {}", sol.budget_used);
+    if args.switches.contains("plan") {
+        let plan = routing_plan(&arc, &sol).map_err(|e| e.to_string())?;
+        println!("{}", plan.render(&arc));
+    }
+    Ok(())
+}
+
+fn cmd_min_resource(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("missing instance path")?
+        .clone();
+    let arc = load(&path)?;
+    let target: u64 = args.require("target")?;
+    let alpha: f64 = args.flag("alpha")?.unwrap_or(0.5);
+    match rtt_core::min_resource(&arc, target, alpha) {
+        Ok(r) => {
+            validate(&arc, &r.solution).map_err(|e| format!("internal: {e}"))?;
+            println!("LP lower bound:   {:.3} units", r.lp_budget);
+            println!("budget needed:    {} (makespan ≤ {})", r.solution.budget_used, target);
+            println!("achieved makespan:{} (guarantee: ≤ target/α = {:.1})",
+                r.solution.makespan, target as f64 / alpha);
+            Ok(())
+        }
+        Err(e) => Err(format!("target unreachable: {e}")),
+    }
+}
+
+fn cmd_regimes(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("missing instance path")?
+        .clone();
+    let arc = load(&path)?;
+    let budget: u64 = args.require("budget")?;
+    let c = compare_regimes(&arc, budget);
+    println!("budget {budget}:");
+    println!("  no reuse (Q1.1, exact):        {}", c.noreuse);
+    println!("  reuse over paths (Q1.3, exact):{}", c.path_reuse);
+    println!("  global pool (Q1.2, greedy):    {}", c.global_best());
+    Ok(())
+}
+
+fn cmd_dot(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("missing instance path")?
+        .clone();
+    let arc = load(&path)?;
+    let dot = rtt_dag::dot::to_dot(
+        arc.dag(),
+        "instance",
+        |_, _| String::new(),
+        |_, a| {
+            if a.label.is_empty() {
+                a.duration.to_string()
+            } else {
+                format!("{}: {}", a.label, a.duration)
+            }
+        },
+    );
+    println!("{dot}");
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    let args = parse_args(&raw)?;
+    match args.positional.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args),
+        Some("info") => cmd_info(&args),
+        Some("solve") => cmd_solve(&args),
+        Some("min-resource") => cmd_min_resource(&args),
+        Some("regimes") => cmd_regimes(&args),
+        Some("dot") => cmd_dot(&args),
+        Some(other) => Err(format!("unknown command {other}\n\n{USAGE}")),
+        None => Err(USAGE.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

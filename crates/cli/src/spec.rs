@@ -1,0 +1,364 @@
+//! The on-disk instance format: a small JSON schema for activity-on-node
+//! and activity-on-arc instances, round-trippable to the `rtt-core`
+//! types.
+//!
+//! ```json
+//! {
+//!   "form": "node",
+//!   "nodes": [
+//!     { "label": "s", "duration": { "kind": "zero" } },
+//!     { "label": "x", "duration": { "kind": "recbinary", "work": 64 } },
+//!     { "label": "t", "duration": { "kind": "zero" } }
+//!   ],
+//!   "edges": [ { "src": 0, "dst": 1 }, { "src": 1, "dst": 2 } ]
+//! }
+//! ```
+//!
+//! `form: "arc"` puts the durations on the edges instead (the `D'` form
+//! gadgets are built in); nodes then need no payload and `nodes` is just
+//! a count.
+
+use rtt_core::{Activity, ArcInstance, Instance, InstanceError, Job};
+use rtt_dag::Dag;
+use rtt_duration::{Duration, Time, Tuple};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A duration function, as serialized.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "lowercase")]
+pub enum DurationSpec {
+    /// `t(r) = 0` everywhere.
+    Zero,
+    /// Constant duration `t`.
+    Constant {
+        /// The duration.
+        t: Time,
+    },
+    /// General non-increasing step function (Eq. 1): explicit tuples.
+    Step {
+        /// `[resource, time]` pairs, strictly increasing resource,
+        /// non-increasing time, first resource 0.
+        tuples: Vec<(u64, Time)>,
+    },
+    /// k-way splitting (Eq. 2) for a job of `work` updates.
+    Kway {
+        /// Zero-resource duration `t_v(0)`.
+        work: Time,
+    },
+    /// Recursive binary splitting (Eq. 3) for a job of `work` updates.
+    Recbinary {
+        /// Zero-resource duration `t_v(0)`.
+        work: Time,
+    },
+}
+
+impl DurationSpec {
+    /// Builds the in-memory duration function.
+    pub fn build(&self) -> Result<Duration, SpecError> {
+        match self {
+            DurationSpec::Zero => Ok(Duration::zero()),
+            DurationSpec::Constant { t } => Ok(Duration::constant(*t)),
+            DurationSpec::Step { tuples } => {
+                let ts: Vec<Tuple> = tuples.iter().map(|&(r, t)| Tuple::new(r, t)).collect();
+                Duration::step(ts).map_err(|e| SpecError::BadDuration(e.to_string()))
+            }
+            DurationSpec::Kway { work } => Ok(Duration::kway(*work)),
+            DurationSpec::Recbinary { work } => Ok(Duration::recursive_binary(*work)),
+        }
+    }
+
+    /// Serializes an in-memory duration (always as `step`/`zero`, the
+    /// canonical representations are preserved exactly).
+    pub fn from_duration(d: &Duration) -> DurationSpec {
+        let tuples: Vec<(u64, Time)> = d.tuples().iter().map(|t| (t.resource, t.time)).collect();
+        if tuples.len() == 1 && tuples[0].1 == 0 {
+            DurationSpec::Zero
+        } else if tuples.len() == 1 {
+            DurationSpec::Constant { t: tuples[0].1 }
+        } else {
+            DurationSpec::Step { tuples }
+        }
+    }
+}
+
+/// A node of a `form: "node"` instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Display label (optional).
+    #[serde(default)]
+    pub label: String,
+    /// The node's duration function.
+    pub duration: DurationSpec,
+}
+
+/// An edge; `duration` is used only by `form: "arc"` instances.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EdgeSpec {
+    /// Source node index.
+    pub src: usize,
+    /// Destination node index.
+    pub dst: usize,
+    /// Activity duration (arc form only; omit for precedence-only edges
+    /// in node form).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub duration: Option<DurationSpec>,
+    /// Display label (optional).
+    #[serde(default, skip_serializing_if = "String::is_empty")]
+    pub label: String,
+}
+
+/// Whether jobs live on nodes (`D`) or on arcs (`D'`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum Form {
+    /// Activity-on-node (the natural race-DAG form).
+    Node,
+    /// Activity-on-arc (`D'`; gadgets serialize this way).
+    Arc,
+}
+
+/// The serialized instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InstanceSpec {
+    /// Node vs arc form.
+    pub form: Form,
+    /// Node payloads (node form) — for arc form, only the length is
+    /// used and durations may be `zero`.
+    pub nodes: Vec<NodeSpec>,
+    /// Edges (with durations in arc form).
+    pub edges: Vec<EdgeSpec>,
+}
+
+/// Errors loading a spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A duration failed validation.
+    BadDuration(String),
+    /// An edge references a missing node.
+    BadEdge {
+        /// Index of the offending edge.
+        edge: usize,
+    },
+    /// Arc-form edge without a duration.
+    MissingArcDuration {
+        /// Index of the offending edge.
+        edge: usize,
+    },
+    /// The graph is not a two-terminal DAG.
+    BadInstance(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::BadDuration(e) => write!(f, "invalid duration: {e}"),
+            SpecError::BadEdge { edge } => write!(f, "edge {edge} references a missing node"),
+            SpecError::MissingArcDuration { edge } => {
+                write!(f, "arc-form edge {edge} has no duration")
+            }
+            SpecError::BadInstance(e) => write!(f, "invalid instance: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<InstanceError> for SpecError {
+    fn from(e: InstanceError) -> Self {
+        SpecError::BadInstance(e.to_string())
+    }
+}
+
+impl InstanceSpec {
+    /// Builds the arc-form instance (node-form specs are transformed via
+    /// `to_arc_form`). Returns the instance plus per-node labels for
+    /// rendering.
+    pub fn build(&self) -> Result<ArcInstance, SpecError> {
+        match self.form {
+            Form::Node => {
+                let mut g: Dag<Job, ()> = Dag::new();
+                for n in &self.nodes {
+                    g.add_node(Job::labeled(n.label.clone(), n.duration.build()?));
+                }
+                for (i, e) in self.edges.iter().enumerate() {
+                    if e.src >= self.nodes.len() || e.dst >= self.nodes.len() {
+                        return Err(SpecError::BadEdge { edge: i });
+                    }
+                    g.add_edge(
+                        rtt_dag::NodeId(e.src as u32),
+                        rtt_dag::NodeId(e.dst as u32),
+                        (),
+                    )
+                    .map_err(|_| SpecError::BadEdge { edge: i })?;
+                }
+                let inst = Instance::new(g)?;
+                Ok(rtt_core::to_arc_form(&inst).0)
+            }
+            Form::Arc => {
+                let mut g: Dag<(), Activity> = Dag::new();
+                for _ in &self.nodes {
+                    g.add_node(());
+                }
+                for (i, e) in self.edges.iter().enumerate() {
+                    if e.src >= self.nodes.len() || e.dst >= self.nodes.len() {
+                        return Err(SpecError::BadEdge { edge: i });
+                    }
+                    let dur = e
+                        .duration
+                        .as_ref()
+                        .ok_or(SpecError::MissingArcDuration { edge: i })?
+                        .build()?;
+                    g.add_edge(
+                        rtt_dag::NodeId(e.src as u32),
+                        rtt_dag::NodeId(e.dst as u32),
+                        Activity::labeled(e.label.clone(), dur),
+                    )
+                    .map_err(|_| SpecError::BadEdge { edge: i })?;
+                }
+                Ok(ArcInstance::new(g)?)
+            }
+        }
+    }
+
+    /// Serializes an arc instance.
+    pub fn from_arc(arc: &ArcInstance) -> InstanceSpec {
+        let d = arc.dag();
+        InstanceSpec {
+            form: Form::Arc,
+            nodes: d
+                .node_ids()
+                .map(|_| NodeSpec {
+                    label: String::new(),
+                    duration: DurationSpec::Zero,
+                })
+                .collect(),
+            edges: d
+                .edge_refs()
+                .map(|e| EdgeSpec {
+                    src: e.src.index(),
+                    dst: e.dst.index(),
+                    duration: Some(DurationSpec::from_duration(&e.weight.duration)),
+                    label: e.weight.label.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_spec() -> InstanceSpec {
+        InstanceSpec {
+            form: Form::Node,
+            nodes: vec![
+                NodeSpec {
+                    label: "s".into(),
+                    duration: DurationSpec::Zero,
+                },
+                NodeSpec {
+                    label: "x".into(),
+                    duration: DurationSpec::Step {
+                        tuples: vec![(0, 10), (4, 0)],
+                    },
+                },
+                NodeSpec {
+                    label: "t".into(),
+                    duration: DurationSpec::Zero,
+                },
+            ],
+            edges: vec![
+                EdgeSpec {
+                    src: 0,
+                    dst: 1,
+                    duration: None,
+                    label: String::new(),
+                },
+                EdgeSpec {
+                    src: 1,
+                    dst: 2,
+                    duration: None,
+                    label: String::new(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn node_form_builds_and_solves() {
+        let arc = chain_spec().build().unwrap();
+        assert_eq!(arc.base_makespan(), 10);
+        let r = rtt_core::exact::solve_exact(&arc, 4);
+        assert_eq!(r.solution.makespan, 0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let spec = chain_spec();
+        let text = serde_json::to_string_pretty(&spec).unwrap();
+        let back: InstanceSpec = serde_json::from_str(&text).unwrap();
+        let a = spec.build().unwrap();
+        let b = back.build().unwrap();
+        assert_eq!(a.base_makespan(), b.base_makespan());
+        assert_eq!(a.dag().edge_count(), b.dag().edge_count());
+    }
+
+    #[test]
+    fn arc_round_trip_preserves_durations() {
+        let arc = chain_spec().build().unwrap();
+        let spec = InstanceSpec::from_arc(&arc);
+        let rebuilt = spec.build().unwrap();
+        assert_eq!(rebuilt.base_makespan(), arc.base_makespan());
+        assert_eq!(rebuilt.ideal_makespan(), arc.ideal_makespan());
+        assert_eq!(rebuilt.dag().edge_count(), arc.dag().edge_count());
+    }
+
+    #[test]
+    fn bad_edge_rejected() {
+        let mut spec = chain_spec();
+        spec.edges[1].dst = 99;
+        assert_eq!(spec.build().unwrap_err(), SpecError::BadEdge { edge: 1 });
+    }
+
+    #[test]
+    fn arc_form_requires_durations() {
+        let mut spec = chain_spec();
+        spec.form = Form::Arc;
+        assert_eq!(
+            spec.build().unwrap_err(),
+            SpecError::MissingArcDuration { edge: 0 }
+        );
+    }
+
+    #[test]
+    fn bad_step_function_rejected() {
+        let spec = DurationSpec::Step {
+            tuples: vec![(0, 5), (2, 9)], // increasing time: invalid
+        };
+        assert!(matches!(spec.build(), Err(SpecError::BadDuration(_))));
+    }
+
+    #[test]
+    fn cyclic_instance_rejected() {
+        let mut spec = chain_spec();
+        spec.edges.push(EdgeSpec {
+            src: 2,
+            dst: 0,
+            duration: None,
+            label: String::new(),
+        });
+        assert!(matches!(spec.build(), Err(SpecError::BadInstance(_))));
+    }
+
+    #[test]
+    fn duration_spec_families_build() {
+        assert_eq!(DurationSpec::Kway { work: 100 }.build().unwrap().time(0), 100);
+        assert_eq!(
+            DurationSpec::Recbinary { work: 64 }.build().unwrap().time(0),
+            64
+        );
+        assert_eq!(DurationSpec::Constant { t: 7 }.build().unwrap().time(9), 7);
+    }
+}

@@ -1,0 +1,152 @@
+//! End-to-end tests of the `rtt` binary: gen → info → solve →
+//! min-resource → regimes → dot, all through the real executable.
+
+use std::process::Command;
+
+fn rtt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rtt"))
+}
+
+fn gen_instance(dir: &std::path::Path, kind: &str, nodes: usize) -> std::path::PathBuf {
+    let out = rtt()
+        .args([
+            "gen", "--kind", kind, "--nodes", &nodes.to_string(), "--seed", "7",
+        ])
+        .output()
+        .expect("spawn rtt gen");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let path = dir.join(format!("{kind}.json"));
+    std::fs::write(&path, &out.stdout).unwrap();
+    path
+}
+
+fn tempdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtt-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn gen_produces_parseable_instances() {
+    let dir = tempdir();
+    for kind in ["race", "layered", "sp", "chain"] {
+        let path = gen_instance(&dir, kind, 6);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let spec: rtt_cli::InstanceSpec = serde_json::from_str(&text).unwrap();
+        spec.build().unwrap();
+    }
+}
+
+#[test]
+fn info_reports_basics() {
+    let dir = tempdir();
+    let path = gen_instance(&dir, "race", 6);
+    let out = rtt().args(["info", path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("base makespan"), "{text}");
+    assert!(text.contains("improvable jobs"), "{text}");
+}
+
+#[test]
+fn solve_exact_with_plan() {
+    let dir = tempdir();
+    let path = gen_instance(&dir, "race", 5);
+    let out = rtt()
+        .args([
+            "solve", path.to_str().unwrap(), "--budget", "4", "--solver", "exact", "--plan",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("makespan:"), "{text}");
+    assert!(text.contains("total routed:"), "{text}");
+}
+
+#[test]
+fn solve_bicriteria_reports_lp_bound() {
+    let dir = tempdir();
+    let path = gen_instance(&dir, "race", 6);
+    let out = rtt()
+        .args(["solve", path.to_str().unwrap(), "--budget", "8"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("LP lower bound"), "{text}");
+}
+
+#[test]
+fn sp_solver_on_sp_instance() {
+    let dir = tempdir();
+    let path = gen_instance(&dir, "sp", 6);
+    let out = rtt()
+        .args([
+            "solve", path.to_str().unwrap(), "--budget", "6", "--solver", "sp",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn min_resource_round_trip() {
+    let dir = tempdir();
+    let path = gen_instance(&dir, "race", 5);
+    // target = base makespan is always reachable with 0 units
+    let info = rtt().args(["info", path.to_str().unwrap()]).output().unwrap();
+    let text = String::from_utf8_lossy(&info.stdout).to_string();
+    let base: u64 = text
+        .lines()
+        .find(|l| l.starts_with("base makespan"))
+        .and_then(|l| l.split(':').nth(1))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("parse base makespan");
+    let out = rtt()
+        .args([
+            "min-resource", path.to_str().unwrap(), "--target", &base.to_string(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("budget needed"));
+}
+
+#[test]
+fn regimes_prints_all_three() {
+    let dir = tempdir();
+    let path = gen_instance(&dir, "race", 5);
+    let out = rtt()
+        .args(["regimes", path.to_str().unwrap(), "--budget", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Q1.1"), "{text}");
+    assert!(text.contains("Q1.2"), "{text}");
+    assert!(text.contains("Q1.3"), "{text}");
+}
+
+#[test]
+fn dot_is_well_formed() {
+    let dir = tempdir();
+    let path = gen_instance(&dir, "chain", 4);
+    let out = rtt().args(["dot", path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("digraph"), "{text}");
+    assert!(text.trim_end().ends_with('}'), "{text}");
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = rtt().output().unwrap();
+    assert!(!out.status.success());
+    let out = rtt().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = rtt().args(["solve", "/nonexistent.json", "--budget", "1"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = rtt().args(["gen", "--kind", "nope"]).output().unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,440 @@
+//! Exponential-time exact reference solvers.
+//!
+//! The approximation-quality experiments (Table 1) need true optima on
+//! small instances. W.l.o.g. an optimal solution allocates each job one
+//! of its canonical tuple levels, so exhaustive search over level
+//! assignments — with min-flow feasibility checks for the routing and
+//! longest-path pruning — is exact. Exponential, but fine for the
+//! instance sizes where it is used (≲ a dozen improvable jobs).
+
+use crate::instance::ArcInstance;
+use crate::solution::Solution;
+use rtt_duration::{Resource, Time};
+use rtt_flow::{min_flow, BoundedEdge, MinFlowResult};
+
+/// Result of an exact search.
+#[derive(Debug, Clone)]
+pub struct ExactSolution {
+    /// The certified optimal solution.
+    pub solution: Solution,
+    /// Per-edge resource levels the optimum assigns (0 on dummies).
+    pub levels: Vec<Resource>,
+    /// Number of complete assignments evaluated (diagnostics).
+    pub explored: u64,
+}
+
+fn routing(arc: &ArcInstance, levels: &[Resource]) -> MinFlowResult {
+    let d = arc.dag();
+    let edges: Vec<BoundedEdge> = d
+        .edge_refs()
+        .map(|e| BoundedEdge::at_least(e.src.index(), e.dst.index(), levels[e.id.index()]))
+        .collect();
+    min_flow(
+        d.node_count(),
+        &edges,
+        arc.source().index(),
+        arc.sink().index(),
+    )
+    .expect("lower bounds only: feasible")
+}
+
+/// Shared DFS state: the decided-prefix marker and per-edge minimum
+/// durations are maintained incrementally instead of being rebuilt at
+/// every search node (the search visits millions of nodes on gadget
+/// instances).
+struct SearchCtx<'a> {
+    arc: &'a ArcInstance,
+    jobs: Vec<rtt_dag::EdgeId>,
+    levels: Vec<Resource>,
+    decided: Vec<bool>,
+    min_time: Vec<Time>,
+}
+
+impl<'a> SearchCtx<'a> {
+    fn new(arc: &'a ArcInstance) -> Self {
+        let d = arc.dag();
+        let jobs = arc.improvable_edges();
+        let min_time = d.edge_ids().map(|e| d.edge(e).duration.min_time()).collect();
+        SearchCtx {
+            arc,
+            jobs,
+            levels: vec![0; d.edge_count()],
+            decided: vec![false; d.edge_count()],
+            min_time,
+        }
+    }
+
+    /// Optimistic completion bound: decided/unimprovable jobs at their
+    /// chosen level, undecided jobs at their best conceivable duration.
+    fn makespan_lb(&self) -> Time {
+        let d = self.arc.dag();
+        rtt_dag::longest_path_edges(d, |e| {
+            let i = e.index();
+            let dur = &d.edge(e).duration;
+            if dur.len() < 2 || self.decided[i] {
+                dur.time(self.levels[i])
+            } else {
+                self.min_time[i]
+            }
+        })
+        .expect("acyclic")
+        .weight
+    }
+
+    fn makespan(&self) -> Time {
+        let d = self.arc.dag();
+        rtt_dag::longest_path_edges(d, |e| d.edge(e).duration.time(self.levels[e.index()]))
+            .expect("acyclic")
+            .weight
+    }
+}
+
+/// Exact minimum-makespan under budget `B` (Question 1.3 semantics:
+/// resources reused over source→sink paths).
+pub fn solve_exact(arc: &ArcInstance, budget: Resource) -> ExactSolution {
+    let d = arc.dag();
+    let mut ctx = SearchCtx::new(arc);
+    // start from the all-zero allocation: always feasible
+    let base = routing(arc, &ctx.levels);
+
+    struct Best {
+        makespan: Time,
+        levels: Vec<Resource>,
+        flow: MinFlowResult,
+        explored: u64,
+    }
+
+    // `flow_value`: min-flow value of the demands decided so far. Level 0
+    // leaves the demands unchanged, so the parent's value carries over —
+    // only nonzero levels pay for a flow computation.
+    fn dfs(ctx: &mut SearchCtx, budget: Resource, idx: usize, flow_value: Resource, best: &mut Best) {
+        if ctx.makespan_lb() >= best.makespan {
+            return; // cannot beat the incumbent
+        }
+        if idx == ctx.jobs.len() {
+            best.explored += 1;
+            let ms = ctx.makespan();
+            if ms < best.makespan {
+                let r = routing(ctx.arc, &ctx.levels);
+                debug_assert!(r.value <= budget);
+                best.makespan = ms;
+                best.levels = ctx.levels.clone();
+                best.flow = r;
+            }
+            return;
+        }
+        let e = ctx.jobs[idx];
+        let ei = e.index();
+        let options: Vec<Resource> = ctx
+            .arc
+            .dag()
+            .edge(e)
+            .duration
+            .useful_levels()
+            .filter(|&r| r <= budget) // a single job can never use more
+            .collect();
+        ctx.decided[ei] = true;
+        for lvl in options {
+            ctx.levels[ei] = lvl;
+            let fv = if lvl == 0 {
+                flow_value
+            } else {
+                let r = routing(ctx.arc, &ctx.levels);
+                if r.value > budget {
+                    continue; // demands are monotone: no deeper level helps
+                }
+                r.value
+            };
+            dfs(ctx, budget, idx + 1, fv, best);
+        }
+        ctx.levels[ei] = 0;
+        ctx.decided[ei] = false;
+    }
+
+    let mut best = Best {
+        makespan: arc.base_makespan(),
+        levels: ctx.levels.clone(),
+        flow: base,
+        explored: 1,
+    };
+    dfs(&mut ctx, budget, 0, 0, &mut best);
+
+    let edge_times: Vec<Time> = d
+        .edge_ids()
+        .map(|e| d.edge(e).duration.time(best.levels[e.index()]))
+        .collect();
+    ExactSolution {
+        solution: Solution {
+            arc_flows: best.flow.edge_flow.clone(),
+            edge_times,
+            makespan: best.makespan,
+            budget_used: best.flow.value,
+        },
+        levels: best.levels,
+        explored: best.explored,
+    }
+}
+
+/// Decision procedure: is there a routing within `budget` achieving
+/// makespan `≤ target`? Returns a witness solution if so.
+///
+/// Much faster than [`solve_exact`] for gadget validation because it
+/// prunes on *both* criteria: partial makespan lower bounds (optimistic
+/// completion) against `target`, and partial min-flow lower bounds
+/// (covering only the already-decided demands) against `budget` — the
+/// latter cuts over-covering branches early, which is where the
+/// hardness-gadget search trees explode.
+pub fn decide_feasible(
+    arc: &ArcInstance,
+    budget: Resource,
+    target: Time,
+) -> Option<Solution> {
+    let d = arc.dag();
+    let mut ctx = SearchCtx::new(arc);
+
+    // `flow_value` carries the min-flow of the already-decided demands;
+    // choosing level 0 does not change the demands, so the flow is only
+    // recomputed on nonzero levels (the search is dominated by zero-heavy
+    // subtrees on gadget instances).
+    fn dfs(
+        ctx: &mut SearchCtx,
+        budget: Resource,
+        target: Time,
+        idx: usize,
+        flow_value: Resource,
+    ) -> bool {
+        if ctx.makespan_lb() > target {
+            return false;
+        }
+        if idx == ctx.jobs.len() {
+            return true;
+        }
+        let e = ctx.jobs[idx];
+        let ei = e.index();
+        // Prefer cheaper levels first: the zero level often suffices and
+        // keeps the flow small.
+        let options: Vec<Resource> = ctx
+            .arc
+            .dag()
+            .edge(e)
+            .duration
+            .useful_levels()
+            .filter(|&r| r <= budget)
+            .collect();
+        ctx.decided[ei] = true;
+        for lvl in options {
+            ctx.levels[ei] = lvl;
+            let fv = if lvl == 0 {
+                flow_value
+            } else {
+                // budget prune: demands decided so far already need this much
+                let r = routing(ctx.arc, &ctx.levels);
+                if r.value > budget {
+                    continue;
+                }
+                r.value
+            };
+            if dfs(ctx, budget, target, idx + 1, fv) {
+                return true;
+            }
+        }
+        ctx.levels[ei] = 0;
+        ctx.decided[ei] = false;
+        false
+    }
+
+    if !dfs(&mut ctx, budget, target, 0, 0) {
+        return None;
+    }
+    let flow = routing(arc, &ctx.levels);
+    debug_assert!(flow.value <= budget);
+    let edge_times: Vec<Time> = d
+        .edge_ids()
+        .map(|e| d.edge(e).duration.time(ctx.levels[e.index()]))
+        .collect();
+    let makespan = rtt_dag::longest_path_edges(d, |e| edge_times[e.index()])
+        .expect("acyclic")
+        .weight;
+    debug_assert!(makespan <= target);
+    Some(Solution {
+        arc_flows: flow.edge_flow,
+        edge_times,
+        makespan,
+        budget_used: flow.value,
+    })
+}
+
+/// Exact minimum-resource: the least budget whose optimal makespan is
+/// `≤ target`, or `None` if even unlimited resources cannot reach it.
+pub fn solve_exact_min_resource(
+    arc: &ArcInstance,
+    target: Time,
+) -> Option<(Resource, Solution)> {
+    if arc.ideal_makespan() > target {
+        return None;
+    }
+    let d = arc.dag();
+    let mut ctx = SearchCtx::new(arc);
+    let mut best: Option<(Resource, Vec<Resource>, MinFlowResult)> = None;
+
+    // `flow_value` carries the partial-demand min-flow (monotone in the
+    // demands): subtrees already needing at least the incumbent's budget
+    // are cut, and zero levels reuse the parent's value for free.
+    fn dfs(
+        ctx: &mut SearchCtx,
+        target: Time,
+        idx: usize,
+        flow_value: Resource,
+        best: &mut Option<(Resource, Vec<Resource>, MinFlowResult)>,
+    ) {
+        if let Some((b, _, _)) = best {
+            if flow_value >= *b {
+                return; // cannot end below the incumbent's budget
+            }
+        }
+        // optimistic makespan must already be reachable
+        if ctx.makespan_lb() > target {
+            return;
+        }
+        if idx == ctx.jobs.len() {
+            if ctx.makespan() > target {
+                return;
+            }
+            let r = routing(ctx.arc, &ctx.levels);
+            if best.as_ref().is_none_or(|(b, _, _)| r.value < *b) {
+                *best = Some((r.value, ctx.levels.clone(), r));
+            }
+            return;
+        }
+        let e = ctx.jobs[idx];
+        let ei = e.index();
+        let options: Vec<Resource> = ctx.arc.dag().edge(e).duration.useful_levels().collect();
+        ctx.decided[ei] = true;
+        for lvl in options {
+            ctx.levels[ei] = lvl;
+            let fv = if lvl == 0 {
+                flow_value
+            } else {
+                routing(ctx.arc, &ctx.levels).value
+            };
+            dfs(ctx, target, idx + 1, fv, best);
+        }
+        ctx.levels[ei] = 0;
+        ctx.decided[ei] = false;
+    }
+
+    dfs(&mut ctx, target, 0, 0, &mut best);
+    let (value, levels, flow) = best?;
+    let edge_times: Vec<Time> = d
+        .edge_ids()
+        .map(|e| d.edge(e).duration.time(levels[e.index()]))
+        .collect();
+    let makespan = rtt_dag::longest_path_edges(d, |e| edge_times[e.index()])
+        .expect("acyclic")
+        .weight;
+    Some((
+        value,
+        Solution {
+            arc_flows: flow.edge_flow,
+            edge_times,
+            makespan,
+            budget_used: value,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{Instance, Job};
+    use crate::solution::validate;
+    use crate::transform::to_arc_form;
+    use rtt_dag::Dag;
+    use rtt_duration::Duration;
+
+    fn serial_chain() -> ArcInstance {
+        let mut g: Dag<Job, ()> = Dag::new();
+        let s = g.add_node(Job::new(Duration::zero()));
+        let x = g.add_node(Job::new(Duration::two_point(10, 4, 0)));
+        let y = g.add_node(Job::new(Duration::two_point(8, 4, 2)));
+        let t = g.add_node(Job::new(Duration::zero()));
+        g.add_edge(s, x, ()).unwrap();
+        g.add_edge(x, y, ()).unwrap();
+        g.add_edge(y, t, ()).unwrap();
+        to_arc_form(&Instance::new(g).unwrap()).0
+    }
+
+    fn parallel_pair() -> ArcInstance {
+        let mut g: Dag<Job, ()> = Dag::new();
+        let s = g.add_node(Job::new(Duration::zero()));
+        let x = g.add_node(Job::new(Duration::two_point(10, 4, 0)));
+        let y = g.add_node(Job::new(Duration::two_point(10, 4, 0)));
+        let t = g.add_node(Job::new(Duration::zero()));
+        g.add_edge(s, x, ()).unwrap();
+        g.add_edge(s, y, ()).unwrap();
+        g.add_edge(x, t, ()).unwrap();
+        g.add_edge(y, t, ()).unwrap();
+        to_arc_form(&Instance::new(g).unwrap()).0
+    }
+
+    #[test]
+    fn serial_reuse_found() {
+        let arc = serial_chain();
+        // 4 units serve both jobs on the path: makespan 0 + 2 = 2.
+        let r = solve_exact(&arc, 4);
+        assert_eq!(r.solution.makespan, 2);
+        assert!(r.solution.budget_used <= 4);
+        validate(&arc, &r.solution).unwrap();
+    }
+
+    #[test]
+    fn parallel_needs_double_budget() {
+        let arc = parallel_pair();
+        // 4 units can only fix one branch: makespan stays 10.
+        assert_eq!(solve_exact(&arc, 4).solution.makespan, 10);
+        // 8 units fix both: makespan 0.
+        let r8 = solve_exact(&arc, 8);
+        assert_eq!(r8.solution.makespan, 0);
+        validate(&arc, &r8.solution).unwrap();
+    }
+
+    #[test]
+    fn budget_zero_is_base_makespan() {
+        let arc = serial_chain();
+        let r = solve_exact(&arc, 0);
+        assert_eq!(r.solution.makespan, arc.base_makespan());
+        assert_eq!(r.solution.budget_used, 0);
+    }
+
+    #[test]
+    fn monotone_in_budget() {
+        let arc = serial_chain();
+        let mut prev = Time::MAX;
+        for b in 0..=8 {
+            let ms = solve_exact(&arc, b).solution.makespan;
+            assert!(ms <= prev, "budget {b}: {ms} > {prev}");
+            prev = ms;
+        }
+    }
+
+    #[test]
+    fn exact_min_resource_inverse_of_makespan() {
+        let arc = serial_chain();
+        // target 18 (base): 0 units; target 2: 4 units (reuse);
+        let (r0, _) = solve_exact_min_resource(&arc, 18).unwrap();
+        assert_eq!(r0, 0);
+        let (r2, sol2) = solve_exact_min_resource(&arc, 2).unwrap();
+        assert_eq!(r2, 4);
+        validate(&arc, &sol2).unwrap();
+        // unreachable target
+        assert!(solve_exact_min_resource(&arc, 1).is_none());
+    }
+
+    #[test]
+    fn min_resource_parallel_no_reuse() {
+        let arc = parallel_pair();
+        let (r, sol) = solve_exact_min_resource(&arc, 0).unwrap();
+        assert_eq!(r, 8, "parallel branches cannot share units");
+        validate(&arc, &sol).unwrap();
+    }
+}

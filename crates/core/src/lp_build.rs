@@ -1,0 +1,360 @@
+//! LP 6–10 (§3.1): the linear relaxation of the resource-time tradeoff
+//! with resource reuse over paths, modelled as a network-flow LP.
+//!
+//! Variables: a flow `f_e ≥ 0` per `D''` arc and an event time `T_v ≥ 0`
+//! per vertex (with `T_s = 0` eliminated). Constraints:
+//!
+//! * (6) `f_e ≤ r_e` on two-tuple arcs — the linear duration relaxation
+//!   is only valid inside `[0, r_e]`; single-tuple arcs stay *uncapped*
+//!   so surplus resource can flow through for reuse down the path;
+//! * (7) `T_u + t_e(f_e) ≤ T_v` with the Eq. 4/5 relaxation
+//!   `t_e(f) = t0 − (t0 − t1)·f/r_e`;
+//! * (8) flow conservation at internal vertices;
+//! * (9) `Σ f(s,·) ≤ B`.
+//!
+//! Objective (10): minimize `T_t` — or, for the minimum-resource
+//! problem, minimize `Σ f(s,·)` subject to `T_t ≤ T`.
+//!
+//! ∞-durations (Appendix-A gadgets) are clamped to [`LP_BIG`]; exact
+//! solvers handle them natively, the LP only needs relative order.
+
+use crate::transform::TwoTupleInstance;
+use rtt_duration::{Resource, Time};
+use rtt_lp::{Outcome, Problem};
+use std::fmt;
+
+/// Finite stand-in for `∞` durations inside the LP.
+pub const LP_BIG: f64 = 1e12;
+
+/// LP failures surfaced to solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// The relaxation is infeasible (only possible for min-resource with
+    /// an unachievable target).
+    Infeasible,
+    /// The relaxation is unbounded (indicates a modelling bug).
+    Unbounded,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "LP relaxation infeasible"),
+            LpError::Unbounded => write!(f, "LP relaxation unbounded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// A fractional solution of LP 6–10 (or its min-resource dual use).
+#[derive(Debug, Clone)]
+pub struct FractionalSolution {
+    /// Flow per `D''` edge.
+    pub flows: Vec<f64>,
+    /// Event time per `D''` node (source fixed at 0).
+    pub times: Vec<f64>,
+    /// `T_t`: the relaxed makespan.
+    pub makespan: f64,
+    /// Source outflow: the relaxed resource usage.
+    pub budget_used: f64,
+    /// Simplex pivots (diagnostics).
+    pub pivots: usize,
+}
+
+fn clamp_time(t: Time) -> f64 {
+    if rtt_duration::is_infinite(t) {
+        LP_BIG
+    } else {
+        t as f64
+    }
+}
+
+struct LpShape {
+    problem: Problem,
+    n_edges: usize,
+    /// variable index of `T_v`, `None` for the source.
+    time_var: Vec<Option<usize>>,
+}
+
+/// Shared constraint matrix of LP 6–10 (everything except the
+/// objective/budget/target rows).
+fn build_shape(tt: &TwoTupleInstance) -> LpShape {
+    let d = &tt.dag;
+    let n_edges = d.edge_count();
+    // variable layout: [flows | times (non-source)]
+    let mut time_var: Vec<Option<usize>> = vec![None; d.node_count()];
+    let mut next = n_edges;
+    for v in d.node_ids() {
+        if v != tt.source {
+            time_var[v.index()] = Some(next);
+            next += 1;
+        }
+    }
+    let mut p = Problem::minimize(next);
+
+    for e in d.edge_refs() {
+        let a = e.weight;
+        // (6) capacity on two-tuple arcs
+        if let Some((r, _)) = a.buy {
+            p.set_upper_bound(e.id.index(), r as f64);
+        }
+        // (7) precedence: T_v − T_u + slope·f_e ≥ t0
+        let t0 = clamp_time(a.t0);
+        let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(3);
+        if let Some(tv) = time_var[e.dst.index()] {
+            coeffs.push((tv, 1.0));
+        }
+        if let Some(tu) = time_var[e.src.index()] {
+            coeffs.push((tu, -1.0));
+        }
+        if let Some((r, t1)) = a.buy {
+            let slope = (t0 - clamp_time(t1)) / r as f64;
+            if slope != 0.0 {
+                coeffs.push((e.id.index(), slope));
+            }
+        }
+        // The destination is never the source (source has in-degree 0),
+        // so `coeffs` always contains T_v.
+        p.add_ge(&coeffs, t0);
+    }
+
+    // (8) conservation at internal vertices
+    for v in d.node_ids() {
+        if v == tt.source || v == tt.sink {
+            continue;
+        }
+        let mut coeffs: Vec<(usize, f64)> = Vec::new();
+        for &e in d.out_edges(v) {
+            coeffs.push((e.index(), 1.0));
+        }
+        for &e in d.in_edges(v) {
+            coeffs.push((e.index(), -1.0));
+        }
+        if !coeffs.is_empty() {
+            p.add_eq(&coeffs, 0.0);
+        }
+    }
+
+    LpShape {
+        problem: p,
+        n_edges,
+        time_var,
+    }
+}
+
+fn extract(
+    tt: &TwoTupleInstance,
+    shape: &LpShape,
+    sol: rtt_lp::Solution,
+) -> FractionalSolution {
+    let flows: Vec<f64> = sol.x[..shape.n_edges].to_vec();
+    let times: Vec<f64> = shape
+        .time_var
+        .iter()
+        .map(|tv| tv.map_or(0.0, |j| sol.x[j]))
+        .collect();
+    let makespan = times[tt.sink.index()];
+    let budget_used = tt
+        .dag
+        .out_edges(tt.source)
+        .iter()
+        .map(|&e| flows[e.index()])
+        .sum();
+    FractionalSolution {
+        flows,
+        times,
+        makespan,
+        budget_used,
+        pivots: sol.pivots,
+    }
+}
+
+/// Solves LP 6–10: minimize the makespan `T_t` under resource budget `B`.
+pub fn solve_min_makespan_lp(
+    tt: &TwoTupleInstance,
+    budget: Resource,
+) -> Result<FractionalSolution, LpError> {
+    let mut shape = build_shape(tt);
+    // (9) budget at the source
+    let budget_coeffs: Vec<(usize, f64)> = tt
+        .dag
+        .out_edges(tt.source)
+        .iter()
+        .map(|&e| (e.index(), 1.0))
+        .collect();
+    if !budget_coeffs.is_empty() {
+        shape.problem.add_le(&budget_coeffs, budget as f64);
+    }
+    // (10) minimize T_t
+    let t_sink = shape.time_var[tt.sink.index()].expect("sink is not the source");
+    shape.problem.set_objective(t_sink, 1.0);
+    match shape.problem.solve() {
+        Outcome::Optimal(s) => Ok(extract(tt, &shape, s)),
+        Outcome::Infeasible => Err(LpError::Infeasible),
+        Outcome::Unbounded => Err(LpError::Unbounded),
+    }
+}
+
+/// The minimum-resource twin: minimize `Σ f(s,·)` subject to `T_t ≤ T`.
+pub fn solve_min_resource_lp(
+    tt: &TwoTupleInstance,
+    target: Time,
+) -> Result<FractionalSolution, LpError> {
+    let mut shape = build_shape(tt);
+    let t_sink = shape.time_var[tt.sink.index()].expect("sink is not the source");
+    shape.problem.add_le(&[(t_sink, 1.0)], clamp_time(target));
+    for &e in tt.dag.out_edges(tt.source) {
+        shape.problem.set_objective(e.index(), 1.0);
+    }
+    match shape.problem.solve() {
+        Outcome::Optimal(s) => Ok(extract(tt, &shape, s)),
+        Outcome::Infeasible => Err(LpError::Infeasible),
+        Outcome::Unbounded => Err(LpError::Unbounded),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{Activity, ArcInstance, Instance, Job};
+    use crate::transform::{expand_two_tuples, to_arc_form};
+    use rtt_dag::Dag;
+    use rtt_duration::Duration;
+
+    /// s -> x -> t with x: {<0,10>, <4,0>}.
+    fn single_job() -> TwoTupleInstance {
+        let mut g: Dag<Job, ()> = Dag::new();
+        let s = g.add_node(Job::new(Duration::zero()));
+        let x = g.add_node(Job::new(Duration::two_point(10, 4, 0)));
+        let t = g.add_node(Job::new(Duration::zero()));
+        g.add_edge(s, x, ()).unwrap();
+        g.add_edge(x, t, ()).unwrap();
+        let inst = Instance::new(g).unwrap();
+        let (arc, _) = to_arc_form(&inst);
+        expand_two_tuples(&arc)
+    }
+
+    #[test]
+    fn lp_interpolates_budget() {
+        let tt = single_job();
+        // B = 0: makespan 10. B = 4: 0. B = 2: 5 (linear).
+        let f0 = solve_min_makespan_lp(&tt, 0).unwrap();
+        assert!((f0.makespan - 10.0).abs() < 1e-6, "{}", f0.makespan);
+        let f4 = solve_min_makespan_lp(&tt, 4).unwrap();
+        assert!(f4.makespan.abs() < 1e-6);
+        let f2 = solve_min_makespan_lp(&tt, 2).unwrap();
+        assert!((f2.makespan - 5.0).abs() < 1e-6, "{}", f2.makespan);
+    }
+
+    #[test]
+    fn lp_budget_not_exceeded() {
+        let tt = single_job();
+        for b in [0u64, 1, 3, 10] {
+            let f = solve_min_makespan_lp(&tt, b).unwrap();
+            assert!(f.budget_used <= b as f64 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn lp_is_lower_bound_for_integral_solutions() {
+        let tt = single_job();
+        // With B = 3 integral can't buy the 4-gap: best integral = 10.
+        // LP does better (fractional) — that's the relaxation gap.
+        let f = solve_min_makespan_lp(&tt, 3).unwrap();
+        assert!(f.makespan <= 10.0 + 1e-9);
+        assert!((f.makespan - 2.5).abs() < 1e-6, "{}", f.makespan);
+    }
+
+    #[test]
+    fn min_resource_lp_basics() {
+        let tt = single_job();
+        // target 10 needs 0 resource; target 0 needs 4; target 5 needs 2.
+        let r10 = solve_min_resource_lp(&tt, 10).unwrap();
+        assert!(r10.budget_used < 1e-6);
+        let r0 = solve_min_resource_lp(&tt, 0).unwrap();
+        assert!((r0.budget_used - 4.0).abs() < 1e-6);
+        let r5 = solve_min_resource_lp(&tt, 5).unwrap();
+        assert!((r5.budget_used - 2.0).abs() < 1e-6, "{}", r5.budget_used);
+    }
+
+    /// Reuse over a path: two consecutive jobs can share the same units.
+    #[test]
+    fn lp_exploits_reuse_over_paths() {
+        let mut g: Dag<Job, ()> = Dag::new();
+        let s = g.add_node(Job::new(Duration::zero()));
+        let x = g.add_node(Job::new(Duration::two_point(10, 3, 0)));
+        let y = g.add_node(Job::new(Duration::two_point(10, 3, 0)));
+        let t = g.add_node(Job::new(Duration::zero()));
+        g.add_edge(s, x, ()).unwrap();
+        g.add_edge(x, y, ()).unwrap();
+        g.add_edge(y, t, ()).unwrap();
+        let inst = Instance::new(g).unwrap();
+        let (arc, _) = to_arc_form(&inst);
+        let tt = expand_two_tuples(&arc);
+        // 3 units kill BOTH jobs (serial path, resource flows through).
+        let f = solve_min_makespan_lp(&tt, 3).unwrap();
+        assert!(f.makespan.abs() < 1e-6, "{}", f.makespan);
+        // and the min-resource LP needs only 3 for target 0
+        let r = solve_min_resource_lp(&tt, 0).unwrap();
+        assert!((r.budget_used - 3.0).abs() < 1e-6, "{}", r.budget_used);
+    }
+
+    /// Parallel jobs cannot share: each branch needs its own units.
+    #[test]
+    fn lp_does_not_share_across_parallel_branches() {
+        let mut g: Dag<Job, ()> = Dag::new();
+        let s = g.add_node(Job::new(Duration::zero()));
+        let x = g.add_node(Job::new(Duration::two_point(10, 3, 0)));
+        let y = g.add_node(Job::new(Duration::two_point(10, 3, 0)));
+        let t = g.add_node(Job::new(Duration::zero()));
+        g.add_edge(s, x, ()).unwrap();
+        g.add_edge(s, y, ()).unwrap();
+        g.add_edge(x, t, ()).unwrap();
+        g.add_edge(y, t, ()).unwrap();
+        let inst = Instance::new(g).unwrap();
+        let (arc, _) = to_arc_form(&inst);
+        let tt = expand_two_tuples(&arc);
+        let r = solve_min_resource_lp(&tt, 0).unwrap();
+        assert!((r.budget_used - 6.0).abs() < 1e-6, "{}", r.budget_used);
+        // with only 3 units the makespan cannot reach 0
+        let f = solve_min_makespan_lp(&tt, 3).unwrap();
+        assert!(f.makespan > 4.0, "{}", f.makespan);
+    }
+
+    #[test]
+    fn min_resource_infeasible_target() {
+        // Constant-duration job: target below it is infeasible.
+        let mut g: Dag<(), Activity> = Dag::new();
+        let s = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, t, Activity::new(Duration::constant(5)))
+            .unwrap();
+        let arc = ArcInstance::new(g).unwrap();
+        let tt = expand_two_tuples(&arc);
+        assert!(matches!(
+            solve_min_resource_lp(&tt, 4),
+            Err(LpError::Infeasible)
+        ));
+        assert!(solve_min_resource_lp(&tt, 5).is_ok());
+    }
+
+    #[test]
+    fn infinite_durations_clamped() {
+        let mut g: Dag<(), Activity> = Dag::new();
+        let s = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(
+            s,
+            t,
+            Activity::new(Duration::two_point(rtt_duration::INF, 2, 0)),
+        )
+        .unwrap();
+        let arc = ArcInstance::new(g).unwrap();
+        let tt = expand_two_tuples(&arc);
+        let f0 = solve_min_makespan_lp(&tt, 0).unwrap();
+        assert!(f0.makespan >= LP_BIG * 0.99);
+        let f2 = solve_min_makespan_lp(&tt, 2).unwrap();
+        assert!(f2.makespan < 1e-3);
+    }
+}

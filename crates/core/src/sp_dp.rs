@@ -1,0 +1,299 @@
+//! §3.4: pseudo-polynomial exact algorithm for series-parallel DAGs.
+//!
+//! A series-parallel graph decomposes into a rooted binary tree `T_G` of
+//! series and parallel compositions. With `T(v, λ)` = optimal makespan of
+//! the sub-DAG `G_v` using `λ` units,
+//!
+//! ```text
+//! T(leaf j, λ)     = t_j(λ)                      (spend what flows through)
+//! T(series,  λ)    = T(left, λ) + T(right, λ)    (reuse over the path!)
+//! T(parallel, λ)   = min_{0 ≤ i ≤ λ} max(T(left, i), T(right, λ − i))
+//! ```
+//!
+//! — overall `O(m B²)` time, `O(m B)` space. The series rule is where
+//! *resource reuse over paths* enters: both children see the full λ.
+
+use crate::instance::ArcInstance;
+use crate::solution::Solution;
+use rtt_dag::sp::{decompose, SpKind, SpTree};
+use rtt_dag::EdgeId;
+use rtt_duration::{Duration, Resource, Time};
+use rtt_flow::{min_flow, BoundedEdge};
+
+/// Result of the series-parallel DP.
+#[derive(Debug, Clone)]
+pub struct SpSolution {
+    /// Optimal makespan using the full budget.
+    pub makespan: Time,
+    /// Optimal makespan for *every* budget `0..=B` (root table) — row
+    /// `λ` answers "what if the budget were λ", so one DP run yields the
+    /// whole tradeoff curve.
+    pub curve: Vec<Time>,
+    /// Per-edge resource level in an optimal allocation at budget `B`.
+    pub levels: Vec<Resource>,
+}
+
+/// Runs the DP on an explicit decomposition tree.
+///
+/// `duration_of(e)` supplies each leaf's duration function; `budget` is
+/// `B`. Returns the root table and an optimal allocation.
+pub fn solve_sp_tree(
+    tree: &SpTree,
+    mut duration_of: impl FnMut(EdgeId) -> Duration,
+    budget: Resource,
+) -> (Vec<Time>, Vec<(EdgeId, Resource)>) {
+    let b = budget as usize;
+    let order = tree.post_order();
+    // tables[node] = Vec<Time> of length b+1
+    let mut tables: Vec<Option<Vec<Time>>> = vec![None; tree.len()];
+    // split choice for parallel nodes (per λ), for allocation recovery
+    let mut splits: Vec<Option<Vec<u32>>> = vec![None; tree.len()];
+    // cached durations for leaves (recovery needs them again)
+    let mut durs: Vec<Option<Duration>> = vec![None; tree.len()];
+
+    for id in &order {
+        let table = match tree.kind(*id) {
+            SpKind::Leaf(e) => {
+                let dur = duration_of(e);
+                let t: Vec<Time> = (0..=b).map(|l| dur.time(l as Resource)).collect();
+                durs[id.index()] = Some(dur);
+                t
+            }
+            SpKind::Series(x, y) => {
+                let tx = tables[x.index()].as_ref().expect("post-order");
+                let ty = tables[y.index()].as_ref().expect("post-order");
+                (0..=b)
+                    .map(|l| tx[l].saturating_add(ty[l]))
+                    .collect()
+            }
+            SpKind::Parallel(x, y) => {
+                let tx = tables[x.index()].as_ref().expect("post-order");
+                let ty = tables[y.index()].as_ref().expect("post-order");
+                let mut t = vec![Time::MAX; b + 1];
+                let mut choice = vec![0u32; b + 1];
+                for l in 0..=b {
+                    for i in 0..=l {
+                        let v = tx[i].max(ty[l - i]);
+                        if v < t[l] {
+                            t[l] = v;
+                            choice[l] = i as u32;
+                        }
+                    }
+                }
+                splits[id.index()] = Some(choice);
+                t
+            }
+        };
+        tables[id.index()] = Some(table);
+    }
+
+    let root_table = tables[tree.root().index()].clone().expect("root computed");
+
+    // ---- allocation recovery (iterative stack walk)
+    let mut alloc: Vec<(EdgeId, Resource)> = Vec::new();
+    let mut stack = vec![(tree.root(), budget)];
+    while let Some((id, lambda)) = stack.pop() {
+        match tree.kind(id) {
+            SpKind::Leaf(e) => {
+                let dur = durs[id.index()].as_ref().expect("leaf evaluated");
+                let t = tables[id.index()].as_ref().expect("leaf table")[lambda as usize];
+                let spend = dur.resource_for_time(t).unwrap_or(0);
+                alloc.push((e, spend));
+            }
+            SpKind::Series(x, y) => {
+                // reuse over the path: both children get the full λ
+                stack.push((x, lambda));
+                stack.push((y, lambda));
+            }
+            SpKind::Parallel(x, y) => {
+                let i = splits[id.index()].as_ref().expect("parallel split")
+                    [lambda as usize] as Resource;
+                stack.push((x, i));
+                stack.push((y, lambda - i));
+            }
+        }
+    }
+    (root_table, alloc)
+}
+
+/// Exact minimum-makespan for a series-parallel [`ArcInstance`]:
+/// decomposes the DAG, runs the DP, and certifies the allocation by
+/// routing it with a min-flow. Returns `None` if the instance is not
+/// two-terminal series-parallel.
+pub fn solve_sp_exact(arc: &ArcInstance, budget: Resource) -> Option<(SpSolution, Solution)> {
+    let d = arc.dag();
+    let tree = decompose(d, arc.source(), arc.sink())?;
+    let (curve, alloc) = solve_sp_tree(
+        &tree,
+        |e| d.edge(e).duration.clone(),
+        budget,
+    );
+    let makespan = curve[budget as usize];
+    let mut levels = vec![0u64; d.edge_count()];
+    for (e, r) in &alloc {
+        levels[e.index()] = *r;
+    }
+    // route the allocation (must fit in the budget by DP correctness)
+    let edges: Vec<BoundedEdge> = d
+        .edge_refs()
+        .map(|e| BoundedEdge::at_least(e.src.index(), e.dst.index(), levels[e.id.index()]))
+        .collect();
+    let flow = min_flow(
+        d.node_count(),
+        &edges,
+        arc.source().index(),
+        arc.sink().index(),
+    )
+    .expect("lower bounds only");
+    debug_assert!(
+        flow.value <= budget,
+        "DP allocation must be routable within B: {} > {budget}",
+        flow.value
+    );
+    let edge_times: Vec<Time> = d
+        .edge_ids()
+        .map(|e| d.edge(e).duration.time(levels[e.index()]))
+        .collect();
+    let recomputed = rtt_dag::longest_path_edges(d, |e| edge_times[e.index()])
+        .expect("acyclic")
+        .weight;
+    debug_assert_eq!(recomputed, makespan, "DP value must match its allocation");
+    Some((
+        SpSolution {
+            makespan,
+            curve,
+            levels,
+        },
+        Solution {
+            arc_flows: flow.edge_flow,
+            edge_times,
+            makespan: recomputed,
+            budget_used: flow.value,
+        },
+    ))
+}
+
+/// Exact minimum-resource for a series-parallel instance: the smallest
+/// `λ ≤ budget_cap` with `T(root, λ) ≤ target` (one DP run gives the
+/// whole curve). `None` if unreachable within the cap or not SP.
+pub fn sp_min_resource(
+    arc: &ArcInstance,
+    target: Time,
+    budget_cap: Resource,
+) -> Option<Resource> {
+    let d = arc.dag();
+    let tree = decompose(d, arc.source(), arc.sink())?;
+    let (curve, _) = solve_sp_tree(&tree, |e| d.edge(e).duration.clone(), budget_cap);
+    curve
+        .iter()
+        .position(|&t| t <= target)
+        .map(|i| i as Resource)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::solve_exact;
+    use crate::instance::{Activity, Instance, Job};
+    use crate::solution::validate;
+    use crate::transform::to_arc_form;
+    use rtt_dag::Dag;
+
+    fn serial_chain() -> ArcInstance {
+        let mut g: Dag<Job, ()> = Dag::new();
+        let s = g.add_node(Job::new(Duration::zero()));
+        let x = g.add_node(Job::new(Duration::two_point(10, 4, 0)));
+        let y = g.add_node(Job::new(Duration::two_point(8, 4, 2)));
+        let t = g.add_node(Job::new(Duration::zero()));
+        g.add_edge(s, x, ()).unwrap();
+        g.add_edge(x, y, ()).unwrap();
+        g.add_edge(y, t, ()).unwrap();
+        to_arc_form(&Instance::new(g).unwrap()).0
+    }
+
+    #[test]
+    fn chain_curve_and_reuse() {
+        let arc = serial_chain();
+        let (sp, sol) = solve_sp_exact(&arc, 6).unwrap();
+        // curve: λ=0 → 18; λ=4 → 2 (both jobs share the 4 units).
+        assert_eq!(sp.curve[0], 18);
+        assert_eq!(sp.curve[4], 2);
+        assert_eq!(sp.curve[6], 2);
+        validate(&arc, &sol).unwrap();
+    }
+
+    #[test]
+    fn matches_bruteforce_on_chain() {
+        let arc = serial_chain();
+        for b in 0..=8u64 {
+            let (sp, _) = solve_sp_exact(&arc, b).unwrap();
+            let ex = solve_exact(&arc, b);
+            assert_eq!(
+                sp.makespan, ex.solution.makespan,
+                "budget {b}: DP vs brute force"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_split_optimal() {
+        // Two parallel improvable activities with different gains.
+        let mut g: Dag<(), Activity> = Dag::new();
+        let s = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, t, Activity::new(Duration::two_point(10, 2, 1)))
+            .unwrap();
+        g.add_edge(s, t, Activity::new(Duration::two_point(9, 3, 0)))
+            .unwrap();
+        let arc = ArcInstance::new(g).unwrap();
+        let (sp, sol) = solve_sp_exact(&arc, 5).unwrap();
+        // λ=5: split 2/3 → max(1, 0) = 1.
+        assert_eq!(sp.makespan, 1);
+        assert_eq!(sol.budget_used, 5);
+        // λ=4: can only fix one: max(1,9)=9 or max(10,0)=10 → 9.
+        assert_eq!(sp.curve[4], 9);
+        validate(&arc, &sol).unwrap();
+    }
+
+    #[test]
+    fn curve_is_monotone_nonincreasing() {
+        let arc = serial_chain();
+        let (sp, _) = solve_sp_exact(&arc, 10).unwrap();
+        for w in sp.curve.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn min_resource_from_curve() {
+        let arc = serial_chain();
+        assert_eq!(sp_min_resource(&arc, 18, 10), Some(0));
+        assert_eq!(sp_min_resource(&arc, 2, 10), Some(4));
+        assert_eq!(sp_min_resource(&arc, 1, 10), None);
+    }
+
+    #[test]
+    fn non_sp_instance_returns_none() {
+        // Wheatstone bridge is not series-parallel.
+        let mut g: Dag<(), Activity> = Dag::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let t = g.add_node(());
+        for (u, v) in [(s, a), (s, b), (a, b), (a, t), (b, t)] {
+            g.add_edge(u, v, Activity::new(Duration::constant(1)))
+                .unwrap();
+        }
+        let arc = ArcInstance::new(g).unwrap();
+        assert!(solve_sp_exact(&arc, 3).is_none());
+    }
+
+    #[test]
+    fn budget_zero_table() {
+        let arc = serial_chain();
+        let (sp, sol) = solve_sp_exact(&arc, 0).unwrap();
+        assert_eq!(sp.makespan, 18);
+        assert_eq!(sol.budget_used, 0);
+        assert_eq!(sp.curve.len(), 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Graphviz (DOT) export.
+//!
+//! Every construction in the paper is a figure; this module renders any
+//! [`Dag`] to DOT so the gadget builders in `rtt-hardness` and the
+//! transformation pipeline in `rtt-core` can be inspected visually.
+
+use crate::graph::Dag;
+use std::fmt::Write;
+
+/// Renders `g` as a DOT digraph.
+///
+/// `node_label` / `edge_label` produce the display strings; empty edge
+/// labels are omitted. The output is deterministic (insertion order).
+pub fn to_dot<N, E>(
+    g: &Dag<N, E>,
+    name: &str,
+    mut node_label: impl FnMut(crate::NodeId, &N) -> String,
+    mut edge_label: impl FnMut(crate::EdgeId, &E) -> String,
+) -> String {
+    let mut out = String::new();
+    // Identifier-sanitize the graph name.
+    let name: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    writeln!(out, "digraph {name} {{").unwrap();
+    writeln!(out, "  rankdir=LR;").unwrap();
+    for v in g.node_ids() {
+        let label = escape(&node_label(v, g.node(v)));
+        writeln!(out, "  {} [label=\"{}\"];", v.index(), label).unwrap();
+    }
+    for e in g.edge_refs() {
+        let label = escape(&edge_label(e.id, e.weight));
+        if label.is_empty() {
+            writeln!(out, "  {} -> {};", e.src.index(), e.dst.index()).unwrap();
+        } else {
+            writeln!(
+                out,
+                "  {} -> {} [label=\"{}\"];",
+                e.src.index(),
+                e.dst.index(),
+                label
+            )
+            .unwrap();
+        }
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+/// Shorthand for graphs whose payloads implement `Display`.
+pub fn to_dot_display<N: std::fmt::Display, E: std::fmt::Display>(
+    g: &Dag<N, E>,
+    name: &str,
+) -> String {
+    to_dot(g, name, |_, n| n.to_string(), |_, e| e.to_string())
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_edges_and_labels() {
+        let mut g: Dag<&str, u32> = Dag::new();
+        let a = g.add_node("start");
+        let b = g.add_node("end");
+        g.add_edge(a, b, 7).unwrap();
+        let dot = to_dot_display(&g, "demo graph!");
+        assert!(dot.starts_with("digraph demo_graph_ {"));
+        assert!(dot.contains("0 [label=\"start\"]"));
+        assert!(dot.contains("0 -> 1 [label=\"7\"]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn empty_edge_labels_omitted() {
+        let mut g: Dag<&str, &str> = Dag::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b, "").unwrap();
+        let dot = to_dot_display(&g, "g");
+        assert!(dot.contains("0 -> 1;"));
+        assert!(!dot.contains("label=\"\"]"));
+    }
+
+    #[test]
+    fn quotes_escaped() {
+        let mut g: Dag<&str, &str> = Dag::new();
+        g.add_node("say \"hi\"");
+        let dot = to_dot_display(&g, "g");
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+}

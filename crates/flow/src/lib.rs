@@ -1,0 +1,36 @@
+//! # rtt-flow — integer network flows for resource routing
+//!
+//! The rounding step of the paper's approximation pipeline (§3.1) ends
+//! with a *min-flow* computation: after LP rounding fixes an integral
+//! resource requirement `f'_e` at every edge, the total budget actually
+//! needed is the minimum s–t flow subject to the lower bounds `f_e ≥ f'_e`
+//! (LP 11–13). The paper invokes "min-flow has integral optimality"; this
+//! crate supplies the combinatorial machinery behind that sentence:
+//!
+//! * [`max_flow`] — Dinic's algorithm (BFS level graph + blocking DFS);
+//! * [`min_cut`] — the certifying cut for max-flow;
+//! * [`min_flow`] — minimum s–t flow with per-edge lower bounds, via the
+//!   classical transformation (feasible flow with a super source/sink,
+//!   then cancel backwards flow with a t→s max-flow in the residual);
+//! * [`decompose_paths`] — decomposition of an integral DAG flow into
+//!   source→sink paths, i.e. the actual *routes the resource units take*
+//!   (Question 1.3's "every unit of space flows along a source to sink
+//!   path").
+//!
+//! The crate is index-based (`usize` nodes, edge lists) and free of
+//! dependencies; `rtt-core` adapts it to `rtt-dag` graphs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dinic;
+mod lower;
+mod paths;
+
+pub use dinic::{max_flow, min_cut, Dinic, MaxFlowResult};
+pub use lower::{min_flow, BoundedEdge, MinFlowResult};
+pub use paths::{decompose_paths, FlowPath};
+
+/// Effectively-infinite capacity (kept far from `u64::MAX` so sums of
+/// several infinities do not overflow).
+pub const CAP_INF: u64 = u64::MAX / 8;

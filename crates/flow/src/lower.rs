@@ -1,0 +1,299 @@
+//! Minimum s–t flow with per-edge lower bounds (LP 11–13, solved
+//! combinatorially).
+
+use crate::dinic::Dinic;
+use crate::CAP_INF;
+
+/// An edge with flow bounds `lower ≤ f ≤ upper`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundedEdge {
+    /// Tail.
+    pub from: usize,
+    /// Head.
+    pub to: usize,
+    /// Lower bound (the rounded resource requirement `f'_e` of §3.1).
+    pub lower: u64,
+    /// Upper bound (use [`CAP_INF`] for unbounded).
+    pub upper: u64,
+}
+
+impl BoundedEdge {
+    /// Edge with a lower bound only.
+    pub fn at_least(from: usize, to: usize, lower: u64) -> Self {
+        BoundedEdge {
+            from,
+            to,
+            lower,
+            upper: CAP_INF,
+        }
+    }
+}
+
+/// Result of [`min_flow`].
+#[derive(Debug, Clone)]
+pub struct MinFlowResult {
+    /// The minimum s→t flow value (the resource budget actually needed).
+    pub value: u64,
+    /// A witnessing integral flow per input edge (`≥ lower`).
+    pub edge_flow: Vec<u64>,
+}
+
+/// Computes a minimum s→t flow satisfying all lower/upper bounds, or
+/// `None` if no feasible flow exists.
+///
+/// Classical reduction: (1) find *any* feasible flow by rebalancing the
+/// lower-bound excesses through a super source/sink plus a `t→s` return
+/// arc; (2) minimize by cancelling as much s→t flow as possible, i.e. a
+/// max-flow from `t` to `s` in the residual network. Both phases are
+/// Dinic runs on the same structure, so the result is integral — the
+/// "integral optimality" the paper's Lemma 3.3 relies on.
+pub fn min_flow(
+    n: usize,
+    edges: &[BoundedEdge],
+    s: usize,
+    t: usize,
+) -> Option<MinFlowResult> {
+    assert!(s < n && t < n && s != t, "need distinct s, t in range");
+    for (i, e) in edges.iter().enumerate() {
+        assert!(
+            e.lower <= e.upper,
+            "edge {i}: lower {} > upper {}",
+            e.lower,
+            e.upper
+        );
+        assert!(e.from < n && e.to < n, "edge {i}: endpoint out of range");
+    }
+    let ss = n;
+    let tt = n + 1;
+    let mut d = Dinic::new(n + 2);
+    let mut excess = vec![0i64; n];
+    let handles: Vec<_> = edges
+        .iter()
+        .map(|e| {
+            excess[e.to] += e.lower as i64;
+            excess[e.from] -= e.lower as i64;
+            d.add_edge(e.from, e.to, e.upper - e.lower)
+        })
+        .collect();
+    let ts = d.add_edge(t, s, CAP_INF);
+    let mut need = 0u64;
+    for (v, &x) in excess.iter().enumerate() {
+        match x.cmp(&0) {
+            std::cmp::Ordering::Greater => {
+                d.add_edge(ss, v, x as u64);
+                need += x as u64;
+            }
+            std::cmp::Ordering::Less => {
+                d.add_edge(v, tt, (-x) as u64);
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    let pushed = d.run(ss, tt);
+    if pushed < need {
+        return None; // lower bounds unsatisfiable
+    }
+    // Feasible flow found. Its s→t value is the flow on the return arc.
+    let v0 = d.flow_on(ts);
+    // Remove the return arc entirely (forward and residual directions).
+    d.set_residual(ts, 0);
+    d.clear_flow(ts);
+    // Cancel surplus circulation: max-flow t→s in the residual network.
+    let cancelled = d.run(t, s);
+    debug_assert!(cancelled <= v0);
+    let value = v0 - cancelled;
+    let edge_flow = handles
+        .iter()
+        .zip(edges)
+        .map(|(&h, e)| e.lower + d.flow_on(h))
+        .collect();
+    Some(MinFlowResult { value, edge_flow })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Asserts `r` is a valid flow for `edges` with the given value.
+    fn check(n: usize, edges: &[BoundedEdge], s: usize, t: usize, r: &MinFlowResult) {
+        let mut net = vec![0i64; n];
+        for (e, &f) in edges.iter().zip(&r.edge_flow) {
+            assert!(f >= e.lower, "flow {f} below lower bound {}", e.lower);
+            assert!(f <= e.upper, "flow {f} above upper bound {}", e.upper);
+            net[e.from] -= f as i64;
+            net[e.to] += f as i64;
+        }
+        for v in 0..n {
+            if v == s {
+                assert_eq!(net[v], -(r.value as i64), "source imbalance");
+            } else if v == t {
+                assert_eq!(net[v], r.value as i64, "sink imbalance");
+            } else {
+                assert_eq!(net[v], 0, "conservation violated at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_edge_lower_bound() {
+        let edges = [BoundedEdge::at_least(0, 1, 5)];
+        let r = min_flow(2, &edges, 0, 1).unwrap();
+        assert_eq!(r.value, 5);
+        check(2, &edges, 0, 1, &r);
+    }
+
+    #[test]
+    fn chain_takes_max_of_lower_bounds() {
+        let edges = [
+            BoundedEdge::at_least(0, 1, 2),
+            BoundedEdge::at_least(1, 2, 7),
+            BoundedEdge::at_least(2, 3, 4),
+        ];
+        let r = min_flow(4, &edges, 0, 3).unwrap();
+        assert_eq!(r.value, 7, "a path must carry the max demand on it");
+        check(4, &edges, 0, 3, &r);
+    }
+
+    #[test]
+    fn parallel_demands_add() {
+        // Two disjoint s->t paths with demands 3 and 4: min flow 7.
+        let edges = [
+            BoundedEdge::at_least(0, 1, 3),
+            BoundedEdge::at_least(1, 3, 3),
+            BoundedEdge::at_least(0, 2, 4),
+            BoundedEdge::at_least(2, 3, 4),
+        ];
+        let r = min_flow(4, &edges, 0, 3).unwrap();
+        assert_eq!(r.value, 7);
+        check(4, &edges, 0, 3, &r);
+    }
+
+    #[test]
+    fn reuse_over_path_shares_units() {
+        // Diamond where both middle edges on *one* path demand 5 but the
+        // other path demands nothing: the same 5 units serve both legs of
+        // the demanding path (resource reuse over paths!).
+        let edges = [
+            BoundedEdge::at_least(0, 1, 5),
+            BoundedEdge::at_least(1, 3, 5),
+            BoundedEdge::at_least(0, 2, 0),
+            BoundedEdge::at_least(2, 3, 0),
+        ];
+        let r = min_flow(4, &edges, 0, 3).unwrap();
+        assert_eq!(r.value, 5);
+        check(4, &edges, 0, 3, &r);
+    }
+
+    #[test]
+    fn zero_demands_zero_flow() {
+        let edges = [
+            BoundedEdge::at_least(0, 1, 0),
+            BoundedEdge::at_least(1, 2, 0),
+        ];
+        let r = min_flow(3, &edges, 0, 2).unwrap();
+        assert_eq!(r.value, 0);
+    }
+
+    #[test]
+    fn upper_bounds_can_make_infeasible() {
+        // Demand 5 through a middle edge capped at 3.
+        let edges = [
+            BoundedEdge {
+                from: 0,
+                to: 1,
+                lower: 0,
+                upper: 3,
+            },
+            BoundedEdge::at_least(1, 2, 5),
+        ];
+        assert!(min_flow(3, &edges, 0, 2).is_none());
+    }
+
+    #[test]
+    fn feasible_with_tight_upper_bounds() {
+        let edges = [
+            BoundedEdge {
+                from: 0,
+                to: 1,
+                lower: 2,
+                upper: 2,
+            },
+            BoundedEdge {
+                from: 1,
+                to: 2,
+                lower: 2,
+                upper: 2,
+            },
+        ];
+        let r = min_flow(3, &edges, 0, 2).unwrap();
+        assert_eq!(r.value, 2);
+        assert_eq!(r.edge_flow, vec![2, 2]);
+    }
+
+    #[test]
+    fn min_flow_not_fooled_by_slack_capacity() {
+        // Wide edges everywhere, single demand of 1 somewhere in the
+        // middle; minimum is 1, not the max-flow value.
+        let mut edges = vec![
+            BoundedEdge {
+                from: 0,
+                to: 1,
+                lower: 0,
+                upper: 100,
+            },
+            BoundedEdge {
+                from: 1,
+                to: 2,
+                lower: 1,
+                upper: 100,
+            },
+            BoundedEdge {
+                from: 2,
+                to: 3,
+                lower: 0,
+                upper: 100,
+            },
+        ];
+        edges.push(BoundedEdge {
+            from: 0,
+            to: 3,
+            lower: 0,
+            upper: 100,
+        });
+        let r = min_flow(4, &edges, 0, 3).unwrap();
+        assert_eq!(r.value, 1);
+        check(4, &edges, 0, 3, &r);
+    }
+
+    #[test]
+    fn merging_demands_from_two_branches() {
+        // s->a (demand 3), s->b (demand 2), a->t and b->t free:
+        // min flow = 5 (units split at the source).
+        let edges = [
+            BoundedEdge::at_least(0, 1, 3),
+            BoundedEdge::at_least(0, 2, 2),
+            BoundedEdge::at_least(1, 3, 0),
+            BoundedEdge::at_least(2, 3, 0),
+        ];
+        let r = min_flow(4, &edges, 0, 3).unwrap();
+        assert_eq!(r.value, 5);
+        check(4, &edges, 0, 3, &r);
+    }
+
+    #[test]
+    fn diamond_shared_then_split() {
+        // Demands on the two middle edges (3 and 4) of a diamond plus a
+        // demand 6 on a common first edge: 6 units enter, split 3/4
+        // ... but 6 < 3+4 = 7 so the minimum is 7 driven by the split.
+        let edges = [
+            BoundedEdge::at_least(0, 1, 6),
+            BoundedEdge::at_least(1, 2, 3),
+            BoundedEdge::at_least(1, 3, 4),
+            BoundedEdge::at_least(2, 4, 0),
+            BoundedEdge::at_least(3, 4, 0),
+        ];
+        let r = min_flow(5, &edges, 0, 4).unwrap();
+        assert_eq!(r.value, 7);
+        check(5, &edges, 0, 4, &r);
+    }
+}

@@ -1,0 +1,429 @@
+//! Theorem 4.1 / Lemma 4.2 (Figures 8–9): 1-in-3SAT → discrete
+//! resource-time tradeoff with general non-increasing durations.
+//!
+//! The reduced DAG has makespan 1 under budget `B = n + 2m` **iff** the
+//! formula is 1-in-3 satisfiable. Wiring (reconstructed from the §4.1
+//! prose; all "unit edges" carry `{⟨0,1⟩, ⟨1,0⟩}`, everything else is a
+//! zero-duration dummy):
+//!
+//! * **variable gadget** `V` (Figure 8a): `S→V1`, unit edges `V1→V2`
+//!   (TRUE branch) and `V1→V3` (FALSE branch), `V2→V4`, `V3→V4`, unit
+//!   edges `V4→V5`, `V5→V6`, `V6→T`. One unit of resource must traverse
+//!   one branch and then cover `V4→V5→V6` — it can neither be skipped
+//!   nor diverted into a clause (the tail edges only lead to `T`).
+//!   After routing, `V2` finishes at 0 iff `V = TRUE`; `V3` at 0 iff
+//!   `V = FALSE`.
+//! * **clause gadget** `C` (Figure 8b): diamond `C1→{C2,C3}→C4` of four
+//!   unit edges demanding two units (one per two-edge path); pattern
+//!   vertices `C5, C6, C7` fed (by dummy arcs) from the literal nodes
+//!   of the three exactly-one-true patterns `(¬ℓi,¬ℓj,ℓk)`,
+//!   `(¬ℓi,ℓj,¬ℓk)`, `(ℓi,¬ℓj,¬ℓk)`; unit edges `C5→C8`, `C6→C9`,
+//!   `C7→C10` to `T`. Exactly one pattern vertex finishes at 0 iff the
+//!   clause has exactly one true literal (Table 2), and then the two
+//!   units from `C4` cover the two late lines.
+
+use crate::sat::{Formula, Lit};
+use rtt_core::instance::{Activity, ArcInstance};
+use rtt_core::solution::Solution;
+use rtt_core::{Duration, Resource, Time};
+use rtt_dag::{Dag, NodeId};
+
+/// Node ids of one variable gadget.
+#[derive(Debug, Clone, Copy)]
+pub struct VarGadget {
+    /// `V1` (entry).
+    pub v1: NodeId,
+    /// `V2`: finishes at 0 iff the variable is TRUE.
+    pub v2: NodeId,
+    /// `V3`: finishes at 0 iff the variable is FALSE.
+    pub v3: NodeId,
+    /// `V4`, `V5`, `V6` (the resource-retaining tail).
+    pub tail: [NodeId; 3],
+}
+
+/// Node ids of one clause gadget.
+#[derive(Debug, Clone, Copy)]
+pub struct ClauseGadget {
+    /// Diamond `C1..C4`.
+    pub c1: NodeId,
+    /// `C2`.
+    pub c2: NodeId,
+    /// `C3`.
+    pub c3: NodeId,
+    /// `C4`.
+    pub c4: NodeId,
+    /// Pattern vertices `C5, C6, C7`.
+    pub patterns: [NodeId; 3],
+    /// Line ends `C8, C9, C10`.
+    pub ends: [NodeId; 3],
+}
+
+/// The Theorem 4.1 reduction output.
+#[derive(Debug, Clone)]
+pub struct SatGeneralReduction {
+    /// The reduced instance.
+    pub arc: ArcInstance,
+    /// Resource budget `n + 2m`.
+    pub budget: Resource,
+    /// Makespan target (1).
+    pub target: Time,
+    /// Per-variable gadget handles.
+    pub vars: Vec<VarGadget>,
+    /// Per-clause gadget handles.
+    pub clauses: Vec<ClauseGadget>,
+    /// Source.
+    pub source: NodeId,
+    /// Sink.
+    pub sink: NodeId,
+}
+
+fn unit_edge() -> Activity {
+    Activity::new(Duration::two_point(1, 1, 0))
+}
+
+/// The three exactly-one-true patterns of a clause `(ℓi, ℓj, ℓk)`:
+/// pattern `p` asserts literal `p` true and the other two false.
+/// Entry `r` of the returned array is the literal-as-required for
+/// pattern-vertex `C(5+p)` position `r`.
+fn pattern_literals(clause: &[Lit; 3], p: usize) -> [Lit; 3] {
+    let mut lits = *clause;
+    for (r, l) in lits.iter_mut().enumerate() {
+        if r != p {
+            l.positive = !l.positive; // require the literal false
+        }
+    }
+    lits
+}
+
+/// Builds the reduction.
+pub fn reduce(f: &Formula) -> SatGeneralReduction {
+    let mut g: Dag<(), Activity> = Dag::new();
+    let s = g.add_node(());
+    let t = g.add_node(());
+
+    let mut vars = Vec::with_capacity(f.n_vars);
+    for _ in 0..f.n_vars {
+        let v1 = g.add_node(());
+        let v2 = g.add_node(());
+        let v3 = g.add_node(());
+        let v4 = g.add_node(());
+        let v5 = g.add_node(());
+        let v6 = g.add_node(());
+        g.add_edge(s, v1, Activity::dummy()).unwrap();
+        g.add_edge(v1, v2, unit_edge()).unwrap();
+        g.add_edge(v1, v3, unit_edge()).unwrap();
+        g.add_edge(v2, v4, Activity::dummy()).unwrap();
+        g.add_edge(v3, v4, Activity::dummy()).unwrap();
+        g.add_edge(v4, v5, unit_edge()).unwrap();
+        g.add_edge(v5, v6, unit_edge()).unwrap();
+        g.add_edge(v6, t, Activity::dummy()).unwrap();
+        vars.push(VarGadget {
+            v1,
+            v2,
+            v3,
+            tail: [v4, v5, v6],
+        });
+    }
+
+    // literal node: V2 for a positive occurrence, V3 for a negative one
+    let lit_node = |vars: &[VarGadget], l: Lit| {
+        if l.positive {
+            vars[l.var].v2
+        } else {
+            vars[l.var].v3
+        }
+    };
+
+    let mut clauses = Vec::with_capacity(f.n_clauses());
+    for clause in &f.clauses {
+        let c1 = g.add_node(());
+        let c2 = g.add_node(());
+        let c3 = g.add_node(());
+        let c4 = g.add_node(());
+        g.add_edge(s, c1, Activity::dummy()).unwrap();
+        g.add_edge(c1, c2, unit_edge()).unwrap();
+        g.add_edge(c2, c4, unit_edge()).unwrap();
+        g.add_edge(c1, c3, unit_edge()).unwrap();
+        g.add_edge(c3, c4, unit_edge()).unwrap();
+        let mut patterns = [NodeId(0); 3];
+        let mut ends = [NodeId(0); 3];
+        for p in 0..3 {
+            let cp = g.add_node(());
+            let ce = g.add_node(());
+            g.add_edge(c4, cp, Activity::dummy()).unwrap();
+            for l in pattern_literals(clause, p) {
+                g.add_edge(lit_node(&vars, l), cp, Activity::dummy())
+                    .unwrap();
+            }
+            g.add_edge(cp, ce, unit_edge()).unwrap();
+            g.add_edge(ce, t, Activity::dummy()).unwrap();
+            patterns[p] = cp;
+            ends[p] = ce;
+        }
+        clauses.push(ClauseGadget {
+            c1,
+            c2,
+            c3,
+            c4,
+            patterns,
+            ends,
+        });
+    }
+
+    let arc = ArcInstance::new(g).expect("reduction builds a valid two-terminal DAG");
+    SatGeneralReduction {
+        arc,
+        budget: (f.n_vars + 2 * f.n_clauses()) as Resource,
+        target: 1,
+        vars,
+        clauses,
+        source: s,
+        sink: t,
+    }
+}
+
+/// Builds the *honest* routing for a 1-in-3 satisfying `assignment`
+/// (the forward direction of Lemma 4.2): one unit per variable along
+/// its truth branch, two units per clause through the diamond and into
+/// the two late pattern lines. Returns `None` if the assignment is not
+/// a 1-in-3 model.
+pub fn honest_solution(
+    red: &SatGeneralReduction,
+    f: &Formula,
+    assignment: &[bool],
+) -> Option<Solution> {
+    if !f.satisfied_1in3(assignment) {
+        return None;
+    }
+    let d = red.arc.dag();
+    let mut flows = vec![0u64; d.edge_count()];
+    let route = |path: &[NodeId], flows: &mut Vec<u64>| {
+        for w in path.windows(2) {
+            let e = d
+                .out_edges(w[0])
+                .iter()
+                .copied()
+                .find(|&e| d.dst(e) == w[1])
+                .expect("path edge exists");
+            flows[e.index()] += 1;
+        }
+    };
+    for (v, &val) in red.vars.iter().zip(assignment) {
+        let branch = if val { v.v2 } else { v.v3 };
+        route(
+            &[red.source, v.v1, branch, v.tail[0], v.tail[1], v.tail[2], red.sink],
+            &mut flows,
+        );
+    }
+    for (c, clause) in red.clauses.iter().zip(&f.clauses) {
+        // the unique true literal's pattern vertex is "on time"; the two
+        // units cover the other two lines
+        let true_pos = clause
+            .iter()
+            .position(|l| l.eval(assignment))
+            .expect("1-in-3 satisfied");
+        let late: Vec<usize> = (0..3).filter(|&p| p != true_pos).collect();
+        route(
+            &[red.source, c.c1, c.c2, c.c4, c.patterns[late[0]], c.ends[late[0]], red.sink],
+            &mut flows,
+        );
+        route(
+            &[red.source, c.c1, c.c3, c.c4, c.patterns[late[1]], c.ends[late[1]], red.sink],
+            &mut flows,
+        );
+    }
+    // durations achieved: evaluate every edge at its flow
+    let edge_times: Vec<Time> = d
+        .edge_ids()
+        .map(|e| red.arc.arc_time(e, flows[e.index()]))
+        .collect();
+    let makespan = rtt_dag::longest_path_edges(d, |e| edge_times[e.index()])
+        .expect("acyclic")
+        .weight;
+    let budget_used = d
+        .out_edges(red.source)
+        .iter()
+        .map(|&e| flows[e.index()])
+        .sum();
+    Some(Solution {
+        arc_flows: flows,
+        edge_times,
+        makespan,
+        budget_used,
+    })
+}
+
+/// Regenerates **Table 2** from the gadget itself: for each of the 8
+/// truth assignments to `(Vi, Vj, Vk)`, the earliest start times of
+/// `C(5)`, `C(6)`, `C(7)` in a one-clause instance `(Vi ∨ Vj ∨ Vk)`.
+pub fn table2() -> Vec<([bool; 3], [Time; 3])> {
+    let f = Formula::new(
+        3,
+        vec![[Lit::pos(0), Lit::pos(1), Lit::pos(2)]],
+    );
+    let red = reduce(&f);
+    let d = red.arc.dag();
+    let mut rows = Vec::new();
+    for mask in 0..8u32 {
+        let assignment = [(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0];
+        // route the variable units honestly; give the clause diamond its
+        // two units but stop them at C4 (we only probe C5/C6/C7 starts)
+        let mut flows = vec![0u64; d.edge_count()];
+        for (v, &val) in red.vars.iter().zip(&assignment) {
+            let branch = if val { v.v2 } else { v.v3 };
+            for w in [red.source, v.v1, branch, v.tail[0], v.tail[1], v.tail[2], red.sink]
+                .windows(2)
+            {
+                let e = d
+                    .out_edges(w[0])
+                    .iter()
+                    .copied()
+                    .find(|&e| d.dst(e) == w[1])
+                    .unwrap();
+                flows[e.index()] += 1;
+            }
+        }
+        let c = &red.clauses[0];
+        for path in [[red.source, c.c1, c.c2, c.c4], [red.source, c.c1, c.c3, c.c4]] {
+            for w in path.windows(2) {
+                let e = d
+                    .out_edges(w[0])
+                    .iter()
+                    .copied()
+                    .find(|&e| d.dst(e) == w[1])
+                    .unwrap();
+                flows[e.index()] += 1;
+            }
+        }
+        // C4 -> sink via one pattern line so flow stays conserved: for
+        // the probe we only need event times, so route the two units
+        // through patterns 0 and 1 arbitrarily.
+        for p in [0usize, 1] {
+            for w in [c.c4, c.patterns[p], c.ends[p], red.sink].windows(2) {
+                let e = d
+                    .out_edges(w[0])
+                    .iter()
+                    .copied()
+                    .find(|&e| d.dst(e) == w[1])
+                    .unwrap();
+                flows[e.index()] += 1;
+            }
+        }
+        let times = rtt_dag::paths::event_times(d, |e| {
+            red.arc.arc_time(e, flows[e.index()])
+        })
+        .unwrap();
+        // Paper column order: C(5) = pattern "ℓk true", C(6) = "ℓj true",
+        // C(7) = "ℓi true" — i.e. our patterns reversed.
+        rows.push((
+            assignment,
+            [
+                times[c.patterns[2].index()],
+                times[c.patterns[1].index()],
+                times[c.patterns[0].index()],
+            ],
+        ));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtt_core::exact::decide_feasible;
+    use rtt_core::solution::validate;
+
+    #[test]
+    fn paper_example_forward() {
+        let f = Formula::paper_example();
+        let red = reduce(&f);
+        assert_eq!(red.budget, 3 + 2 * 2);
+        let sol = honest_solution(&red, &f, &[true, true, false]).unwrap();
+        validate(&red.arc, &sol).unwrap();
+        assert_eq!(sol.makespan, 1, "Lemma 4.2 forward: makespan 1");
+        assert!(sol.budget_used <= red.budget);
+    }
+
+    #[test]
+    fn gadget_shape() {
+        let f = Formula::paper_example();
+        let red = reduce(&f);
+        // 2 + 6n + 10m nodes
+        assert_eq!(red.arc.dag().node_count(), 2 + 6 * 3 + 10 * 2);
+        // per var 8 edges; per clause 5 + 3*(1 dummy + 3 lit + 1 unit + 1 out)
+        assert_eq!(red.arc.dag().edge_count(), 8 * 3 + 23 * 2);
+    }
+
+    #[test]
+    fn unsatisfiable_formula_needs_makespan_2() {
+        // the 4-clause unsat instance from sat.rs tests
+        let f = Formula::new(
+            3,
+            vec![
+                [Lit::pos(0), Lit::pos(1), Lit::pos(2)],
+                [Lit::neg(0), Lit::neg(1), Lit::pos(2)],
+                [Lit::pos(0), Lit::neg(1), Lit::neg(2)],
+                [Lit::neg(0), Lit::pos(1), Lit::neg(2)],
+            ],
+        );
+        assert!(f.solve_1in3().is_none());
+        let red = reduce(&f);
+        assert!(
+            decide_feasible(&red.arc, red.budget, 1).is_none(),
+            "Theorem 4.3: unsat ⇒ OPT ≥ 2"
+        );
+        // and makespan 2 is reachable (cover what you can)
+        assert!(decide_feasible(&red.arc, red.budget, 2).is_some());
+    }
+
+    #[test]
+    fn equivalence_on_exhaustive_small_universe() {
+        // every 1-clause formula over 3 variables, all polarities
+        for f in Formula::enumerate_all(3, 1) {
+            let red = reduce(&f);
+            let sat = f.solve_1in3();
+            let feasible = decide_feasible(&red.arc, red.budget, red.target);
+            assert_eq!(
+                sat.is_some(),
+                feasible.is_some(),
+                "Lemma 4.2 equivalence failed for {f:?}"
+            );
+            if let (Some(a), Some(sol)) = (sat, feasible) {
+                validate(&red.arc, &sol).unwrap();
+                let honest = honest_solution(&red, &f, &a).unwrap();
+                assert_eq!(honest.makespan, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn table2_matches_paper() {
+        // Table 2 of the paper, rows ordered (Vi, Vj, Vk) as printed.
+        let expected: &[([bool; 3], [u64; 3])] = &[
+            ([true, true, true], [1, 1, 1]),
+            ([false, true, true], [1, 1, 1]),
+            ([true, false, true], [1, 1, 1]),
+            ([true, true, false], [1, 1, 1]),
+            ([false, false, true], [0, 1, 1]),
+            ([false, true, false], [1, 0, 1]),
+            ([true, false, false], [1, 1, 0]),
+            ([false, false, false], [1, 1, 1]),
+        ];
+        let rows = table2();
+        for (assignment, want) in expected {
+            let got = rows
+                .iter()
+                .find(|(a, _)| a == assignment)
+                .map(|(_, t)| t)
+                .unwrap();
+            assert_eq!(got, want, "Table 2 row {assignment:?}");
+        }
+    }
+
+    #[test]
+    fn budget_minus_one_fails_even_when_satisfiable() {
+        let f = Formula::paper_example();
+        let red = reduce(&f);
+        assert!(decide_feasible(&red.arc, red.budget - 1, 1).is_none());
+    }
+}

@@ -1,0 +1,44 @@
+//! # rtt-lp — a from-scratch linear programming solver
+//!
+//! §3.1 of the paper formulates the relaxed resource-time tradeoff as the
+//! linear program LP 6–10 (flow variables `f_e`, event times `T_v`,
+//! minimize `T_t`). The paper treats the LP solver as an oracle; this
+//! crate *is* that oracle: a dense two-phase primal simplex with
+//!
+//! * `≤` / `=` / `≥` rows and per-variable upper bounds,
+//! * Dantzig pricing with a Bland's-rule fallback for anti-cycling,
+//! * infeasibility and unboundedness certificates,
+//! * deterministic behaviour (no randomization), small-tolerance
+//!   numerics suitable for the integral-data LPs the reduction produces.
+//!
+//! The solver is exact enough for the pipeline: every LP built by
+//! `rtt-core` has integer input data, and the rounding scheme of §3.1
+//! only needs duration values to a relative tolerance.
+//!
+//! ```
+//! use rtt_lp::{Problem, Outcome};
+//! // minimize x + 2y  s.t.  x + y >= 2, y <= 1, 0 <= x,y
+//! let mut p = Problem::minimize(2);
+//! p.set_objective(0, 1.0);
+//! p.set_objective(1, 2.0);
+//! p.add_ge(&[(0, 1.0), (1, 1.0)], 2.0);
+//! p.set_upper_bound(1, 1.0);
+//! match p.solve() {
+//!     Outcome::Optimal(s) => {
+//!         assert!((s.objective - 2.0).abs() < 1e-9); // x=2, y=0
+//!     }
+//!     other => panic!("{other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod problem;
+mod simplex;
+
+pub use problem::{Cmp, Problem, Row};
+pub use simplex::{Outcome, Solution};
+
+/// Default feasibility/optimality tolerance.
+pub const TOL: f64 = 1e-8;

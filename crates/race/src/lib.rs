@@ -1,0 +1,37 @@
+//! # rtt-race — determinacy races, detection, and race-DAG extraction
+//!
+//! §1 of the paper defines a *determinacy race*: two logically parallel
+//! instructions access the same memory location and at least one writes.
+//! This crate supplies the program-analysis substrate the paper's model
+//! rests on:
+//!
+//! * [`program`] — a fork-join (series-parallel) program IR with
+//!   explicit memory accesses, exactly the class of computations the
+//!   paper's DAG model captures;
+//! * [`detect`] — a determinacy-race detector using English-Hebrew
+//!   labelling (two linear orders certify logical parallelism in
+//!   series-parallel programs);
+//! * [`interleave`] — an exhaustive interleaving explorer reproducing
+//!   Figure 1: the unsynchronized two-thread increment can print 1
+//!   *or* 2;
+//! * [`extract`] — builds the race DAG `D(P)` of §1 from a program:
+//!   nodes are memory locations, one arc per update from the location
+//!   whose value feeds the update, so `w_x = d_in(x)`;
+//! * [`mm`] — the Parallel-MM programs of Figure 3 (safe `k`-serial and
+//!   racy `k`-parallel variants).
+//!
+//! Together with `rtt-core` this closes the loop the paper draws:
+//! *detect races → capture them as a DAG → place reducers optimally.*
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detect;
+pub mod extract;
+pub mod interleave;
+pub mod mm;
+pub mod program;
+
+pub use detect::{detect_races, has_race, Race};
+pub use extract::extract_race_dag;
+pub use program::{Loc, Op, Prog};

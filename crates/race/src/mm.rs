@@ -1,0 +1,120 @@
+//! The Parallel-MM programs of Figure 3.
+//!
+//! `Parallel-MM(Z, X, Y, n)` parallelizes the `i` and `j` loops; the
+//! inner `k` loop updates `Z[i][j]` sequentially — race-free. If the
+//! `k` loop is *also* parallelized, all `n` updates to each `Z[i][j]`
+//! become logically parallel: data races on every output cell, "giving
+//! rise to data races and thus producing potentially incorrect results"
+//! (§1). Both variants are built here as [`Prog`]s so the detector and
+//! the race-DAG extractor can be demonstrated on the paper's own
+//! motivating kernel.
+
+use crate::program::{Op, Prog};
+
+/// Location layout for an n×n Parallel-MM: X, Y, Z matrices row-major.
+#[derive(Debug, Clone, Copy)]
+pub struct MmLayout {
+    /// Matrix dimension.
+    pub n: u64,
+}
+
+impl MmLayout {
+    /// Location of `X[i][k]`.
+    pub fn x(&self, i: u64, k: u64) -> u64 {
+        i * self.n + k
+    }
+    /// Location of `Y[k][j]`.
+    pub fn y(&self, k: u64, j: u64) -> u64 {
+        self.n * self.n + k * self.n + j
+    }
+    /// Location of `Z[i][j]`.
+    pub fn z(&self, i: u64, j: u64) -> u64 {
+        2 * self.n * self.n + i * self.n + j
+    }
+}
+
+fn inner_update(l: MmLayout, i: u64, j: u64, k: u64) -> Prog {
+    Prog::Strand(vec![Op::Update {
+        target: l.z(i, j),
+        from: Some(l.x(i, k)),
+        reads: vec![l.y(k, j)],
+    }])
+}
+
+/// The Figure 3 kernel as written: `i`, `j` parallel; `k` sequential.
+/// Race-free.
+pub fn parallel_mm(n: u64) -> (Prog, MmLayout) {
+    let l = MmLayout { n };
+    let cells = (0..n)
+        .flat_map(|i| (0..n).map(move |j| (i, j)))
+        .map(|(i, j)| Prog::Seq((0..n).map(|k| inner_update(l, i, j, k)).collect()))
+        .collect();
+    (Prog::Par(cells), l)
+}
+
+/// The naive "parallelize everything" variant: `k` parallel too.
+/// Every `Z[i][j]` races (n parallel updates to the same cell).
+pub fn parallel_mm_racy(n: u64) -> (Prog, MmLayout) {
+    let l = MmLayout { n };
+    let cells = (0..n)
+        .flat_map(|i| (0..n).map(move |j| (i, j)))
+        .map(|(i, j)| Prog::Par((0..n).map(|k| inner_update(l, i, j, k)).collect()))
+        .collect();
+    (Prog::Par(cells), l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::{detect_races, has_race};
+    use crate::extract::extract_race_dag;
+
+    #[test]
+    fn sequential_k_is_race_free() {
+        let (p, _) = parallel_mm(3);
+        assert!(!has_race(&p), "Figure 3 as written has no races");
+    }
+
+    #[test]
+    fn parallel_k_races_on_every_z_cell() {
+        let n = 3u64;
+        let (p, l) = parallel_mm_racy(n);
+        let races = detect_races(&p);
+        assert!(!races.is_empty());
+        // every racing location is a Z cell, and every Z cell races
+        let z_range = (2 * n * n)..(3 * n * n);
+        let mut racy_locs: Vec<u64> = races.iter().map(|r| r.loc).collect();
+        racy_locs.sort_unstable();
+        racy_locs.dedup();
+        assert_eq!(racy_locs.len(), (n * n) as usize);
+        assert!(racy_locs.iter().all(|loc| z_range.contains(loc)));
+        // n parallel updates per cell -> C(n,2) write-write pairs each
+        let per_cell = (n * (n - 1) / 2) as usize;
+        assert_eq!(races.len(), per_cell * (n * n) as usize);
+    }
+
+    #[test]
+    fn extracted_dag_has_indegree_n_per_z() {
+        let n = 4u64;
+        let (p, l) = parallel_mm_racy(n);
+        let rd = extract_race_dag(&p).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let z = rd.node_of[&l.z(i, j)];
+                assert_eq!(rd.dag.in_degree(z), n as usize, "w_Z = n updates");
+            }
+        }
+        // X cells are sources
+        let x00 = rd.node_of[&l.x(0, 0)];
+        assert_eq!(rd.dag.in_degree(x00), 0);
+        assert_eq!(rd.dag.out_degree(x00), n as usize);
+    }
+
+    #[test]
+    fn program_sizes() {
+        let n = 3u64;
+        let (p, _) = parallel_mm(n);
+        assert_eq!(p.op_count(), (n * n * n) as usize);
+        assert_eq!(p.strand_count(), (n * n * n) as usize);
+    }
+}

@@ -1,0 +1,32 @@
+//! # rtt-reducer — real concurrent reducers (Figure 2, §1)
+//!
+//! The paper motivates the resource-time tradeoff with *reducers*:
+//! tree-shaped accumulators that let logically parallel updates of a
+//! shared variable proceed race-free. This crate implements them with
+//! actual threads and locks, so the motivating claims can be measured
+//! on real hardware, not just simulated:
+//!
+//! * [`BinaryReducer`] — the recursive binary reducer of Figure 2 as a
+//!   tournament tree: `2^h` leaf cells take updates in parallel; when a
+//!   cell finishes, its value merges into its sibling's survivor ("a
+//!   node can become its own parent"), up to the root.
+//! * [`KWayReducer`] — the k-way split reducer of Eq. 2: `k` cells,
+//!   one final combining pass.
+//! * [`LockCell`] — the baseline the paper argues against: one mutex
+//!   serializing every update.
+//! * [`racy`] — the Figure 1 demonstration: unsynchronized
+//!   read-modify-write increments observably *lose updates* (staged
+//!   with atomics, so the lost-update behaviour is real but defined).
+//!
+//! All reducers require the update operation to be **associative and
+//! commutative** ([`CommutativeOp`]); under that contract every reducer
+//! returns exactly the sequential fold.
+
+#![warn(missing_docs)]
+
+pub mod op;
+pub mod racy;
+pub mod reducers;
+
+pub use op::{AddU64, CommutativeOp, MaxU64, SlowAdd};
+pub use reducers::{BinaryReducer, KWayReducer, LockCell};

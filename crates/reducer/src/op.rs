@@ -1,0 +1,107 @@
+//! Update operations for reducers.
+
+/// An associative and commutative update operation — the precondition
+/// for race-free reduction (§1: "provided the update operation is
+/// associative and commutative").
+pub trait CommutativeOp: Sync {
+    /// Accumulator/value type.
+    type Value: Send;
+    /// The identity element (initial cell contents).
+    fn identity(&self) -> Self::Value;
+    /// Folds `x` into `acc`. Must be associative and commutative up to
+    /// the equivalence the caller relies on.
+    fn combine(&self, acc: &mut Self::Value, x: Self::Value);
+}
+
+/// 64-bit wrapping addition.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AddU64;
+
+impl CommutativeOp for AddU64 {
+    type Value = u64;
+    fn identity(&self) -> u64 {
+        0
+    }
+    fn combine(&self, acc: &mut u64, x: u64) {
+        *acc = acc.wrapping_add(x);
+    }
+}
+
+/// 64-bit maximum.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxU64;
+
+impl CommutativeOp for MaxU64 {
+    type Value = u64;
+    fn identity(&self) -> u64 {
+        0
+    }
+    fn combine(&self, acc: &mut u64, x: u64) {
+        *acc = (*acc).max(x);
+    }
+}
+
+/// Addition with an artificial per-update cost of `spin` dummy
+/// iterations — models the paper's assumption that "the time needed to
+/// apply an update significantly dominates every other operation".
+/// Used by throughput benches to expose the reducer-height tradeoff.
+#[derive(Debug, Clone, Copy)]
+pub struct SlowAdd {
+    /// Busy-work iterations per update.
+    pub spin: u32,
+}
+
+impl CommutativeOp for SlowAdd {
+    type Value = u64;
+    fn identity(&self) -> u64 {
+        0
+    }
+    fn combine(&self, acc: &mut u64, x: u64) {
+        let mut v = x;
+        for i in 0..self.spin {
+            // cheap data-dependent busy work the optimizer keeps
+            v = v.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(7) ^ u64::from(i);
+        }
+        std::hint::black_box(v);
+        *acc = acc.wrapping_add(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_commutative_and_associative() {
+        let op = AddU64;
+        let mut a = op.identity();
+        op.combine(&mut a, 3);
+        op.combine(&mut a, 9);
+        let mut b = op.identity();
+        op.combine(&mut b, 9);
+        op.combine(&mut b, 3);
+        assert_eq!(a, b);
+        assert_eq!(a, 12);
+    }
+
+    #[test]
+    fn max_identity_is_neutral() {
+        let op = MaxU64;
+        let mut a = op.identity();
+        op.combine(&mut a, 0);
+        assert_eq!(a, 0);
+        op.combine(&mut a, 7);
+        op.combine(&mut a, 3);
+        assert_eq!(a, 7);
+    }
+
+    #[test]
+    fn slow_add_matches_add() {
+        let slow = SlowAdd { spin: 100 };
+        let mut a = slow.identity();
+        for x in 1..=10u64 {
+            slow.combine(&mut a, x);
+        }
+        assert_eq!(a, 55);
+    }
+}

@@ -1,0 +1,31 @@
+//! # rtt-sim — discrete-event execution of race DAGs
+//!
+//! The paper's model (§1–2) executes a race DAG `D(P)` on a parallel
+//! machine: every memory cell `x` applies its `d_in(x)` incoming updates
+//! one at a time (a lock and a wait queue serialize them), and the
+//! updates along `x`'s outgoing edges trigger as soon as `x` is fully
+//! updated. Observation 1.1 states the running time with unbounded
+//! processors is *at most* the makespan of `D(P)`.
+//!
+//! This crate executes that model tick-by-tick instead of trusting the
+//! longest-path formula:
+//!
+//! * [`exec::simulate`] — update-granular simulation with `P` processors
+//!   (use [`exec::UNBOUNDED`] for ∞), reproducing and *refining*
+//!   Observation 1.1 (staggered updates can pipeline, so the simulated
+//!   time can beat the makespan bound);
+//! * [`reducer_sim`] — step simulation of the Figure 2 binary reducer,
+//!   validating `⌈n/2^h⌉ + h + 1` and its degradation when fewer than
+//!   `2^h` processors are available;
+//! * [`parallel_mm`] — the Parallel-MM motivating workload (Figure 3):
+//!   the race DAG of the `Z[i][j] += X[i][k]·Y[k][j]` inner loop, the
+//!   `Θ(n/2^h + h)` per-cell tradeoff, and budget sweeps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod parallel_mm;
+pub mod reducer_sim;
+
+pub use exec::{simulate, SimResult, UNBOUNDED};

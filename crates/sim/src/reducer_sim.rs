@@ -1,0 +1,188 @@
+//! Step simulation of the Figure 2 recursive binary reducer.
+//!
+//! A reducer of height `h` has `2^h` leaf cells; `n` updates are split
+//! evenly across the leaves and applied serially per cell (one tick
+//! each). When a cell finishes, it merges into its sibling's survivor
+//! (§1's "a node can become its own parent" trick: each pairwise merge
+//! is one extra update). §1 claims completion in `⌈n/2^h⌉ + h + 1`
+//! ticks given at least `2^h` processors; this module replays the
+//! protocol tick-by-tick and also measures the degradation with fewer
+//! processors.
+
+use rtt_duration::{ceil_div, Time};
+
+/// Outcome of a reducer simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReducerSim {
+    /// Tick at which the root variable holds the final value.
+    pub finish: Time,
+    /// Total updates applied (leaf updates + merges + final root update).
+    pub total_updates: u64,
+    /// Processors actually used at peak.
+    pub peak_parallelism: usize,
+}
+
+/// Simulates a height-`h` sibling reducer applying `n` updates with `p`
+/// processors (use `usize::MAX` for unbounded).
+///
+/// Protocol per tick: every live cell with pending work and a processor
+/// applies one update. When all leaf updates of a pair are done, the
+/// later-finishing sibling spends one update merging into the survivor;
+/// survivors pair up recursively; the last survivor spends one final
+/// update writing the shared variable.
+pub fn simulate_reducer(n: u64, height: u32, p: usize) -> ReducerSim {
+    assert!(p > 0);
+    if height == 0 {
+        // plain lock-serialized cell: n updates, one at a time.
+        return ReducerSim {
+            finish: n,
+            total_updates: n,
+            peak_parallelism: 1.min(n as usize),
+        };
+    }
+    let leaves = 1usize << height;
+    // Tournament in heap layout: internal pairs 1..L, leaves L..2L.
+    // pending[i] = updates the cell at heap position i still has to
+    // apply (leaf shares; merges appear as one pending update when both
+    // children complete; position 0 models the final root update).
+    let mut pending: Vec<u64> = vec![0; 2 * leaves];
+    for i in 0..leaves {
+        pending[leaves + i] =
+            n / leaves as u64 + u64::from((i as u64) < n % leaves as u64);
+    }
+    // children_left[pos] = children of internal pair `pos` still running
+    let mut children_left: Vec<u8> = vec![2; leaves];
+    children_left[0] = 1; // "pair" 0 is the root variable: one child (pos 1)
+
+    // Leaves with no updates at all complete immediately.
+    let mut completions: Vec<usize> = (0..leaves)
+        .filter(|&i| pending[leaves + i] == 0)
+        .map(|i| leaves + i)
+        .collect();
+
+    let mut tick: Time = 0;
+    let mut total: u64 = 0;
+    let mut peak = 0usize;
+    let mut done = false;
+    while !done {
+        // completions of the previous tick unlock their parent merge
+        for pos in std::mem::take(&mut completions) {
+            let parent = pos / 2;
+            children_left[parent] -= 1;
+            if children_left[parent] == 0 {
+                pending[parent] = 1; // the merge (or root write) itself
+            }
+        }
+        // one update per busy cell per tick, at most p cells
+        let busy: Vec<usize> = (0..2 * leaves).filter(|&i| pending[i] > 0).collect();
+        if busy.is_empty() {
+            done = pending.iter().all(|&w| w == 0) && children_left[0] == 0;
+            debug_assert!(done, "reducer execution stalled");
+            break;
+        }
+        tick += 1;
+        let used = busy.len().min(p);
+        peak = peak.max(used);
+        for &i in busy.iter().take(used) {
+            pending[i] -= 1;
+            total += 1;
+            if pending[i] == 0 {
+                if i == 0 {
+                    done = true; // root variable written
+                } else {
+                    completions.push(i);
+                }
+            }
+        }
+    }
+
+    ReducerSim {
+        finish: tick,
+        total_updates: total,
+        peak_parallelism: peak.max(1),
+    }
+}
+
+/// §1's analytic claim: `⌈n/2^h⌉ + h + 1` (for `h ≥ 1`, `n ≥ 2^h`).
+pub fn analytic_time(n: u64, height: u32) -> Time {
+    if height == 0 {
+        n
+    } else {
+        ceil_div(n, 1 << height) + Time::from(height) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_analytic_formula_with_enough_processors() {
+        for n in [8u64, 64, 100, 1000, 4096] {
+            for h in 1..=6u32 {
+                if n < (1 << h) {
+                    continue;
+                }
+                let sim = simulate_reducer(n, h, usize::MAX);
+                assert_eq!(
+                    sim.finish,
+                    analytic_time(n, h),
+                    "n={n} h={h}: simulation vs ⌈n/2^h⌉+h+1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn height_zero_serializes() {
+        let sim = simulate_reducer(100, 0, usize::MAX);
+        assert_eq!(sim.finish, 100);
+        assert_eq!(sim.total_updates, 100);
+    }
+
+    #[test]
+    fn update_count_accounts_merges() {
+        // n leaf updates + (2^h - 1) merges + 1 root update
+        let sim = simulate_reducer(64, 3, usize::MAX);
+        assert_eq!(sim.total_updates, 64 + 7 + 1);
+    }
+
+    #[test]
+    fn fewer_processors_degrade_gracefully() {
+        let n = 256u64;
+        let h = 4u32; // 16 leaves
+        let full = simulate_reducer(n, h, 16).finish;
+        let half = simulate_reducer(n, h, 8).finish;
+        let one = simulate_reducer(n, h, 1).finish;
+        assert_eq!(full, analytic_time(n, h));
+        assert!(half > full, "8 processors must be slower: {half} vs {full}");
+        // work law: with 1 processor it is at least total work
+        assert!(one >= n + 16 + 1 - 1);
+        assert!(half >= n / 8);
+    }
+
+    #[test]
+    fn speedup_nearly_linear_in_space() {
+        // §1: "the speedup achieved by a reducer is almost linear in the
+        // amount of extra space used" for large n.
+        let n = 1 << 16;
+        let t0 = simulate_reducer(n, 0, usize::MAX).finish as f64;
+        for h in [2u32, 4, 6, 8] {
+            let th = simulate_reducer(n, h, usize::MAX).finish as f64;
+            let speedup = t0 / th;
+            let space = (1u64 << h) as f64;
+            assert!(
+                speedup > 0.8 * space && speedup <= space,
+                "h={h}: speedup {speedup:.1} vs space {space}"
+            );
+        }
+    }
+
+    #[test]
+    fn uneven_split_uses_ceiling() {
+        // n=5, h=1: leaves get 3 and 2: finish = 3 + 1 + 1.
+        let sim = simulate_reducer(5, 1, usize::MAX);
+        assert_eq!(sim.finish, 5);
+        assert_eq!(analytic_time(5, 1), 5);
+    }
+}

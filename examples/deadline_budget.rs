@@ -1,0 +1,105 @@
+//! The two optimization objectives of §2, played against each other.
+//!
+//! The TCTP literature the paper builds on distinguishes the *deadline*
+//! problem (meet a deadline with the least resource) from the *budget*
+//! problem (spend at most B, finish earliest). This example walks the
+//! whole tradeoff curve of one instance from both directions and checks
+//! they are inverses: `min_resource(makespan(B)) ≤ B` and
+//! `makespan(min_resource(T)) ≤ T` (up to the bi-criteria slack for the
+//! approximate solvers).
+//!
+//! Run with: `cargo run --release --example deadline_budget`
+
+use resource_time_tradeoff::core::exact::{solve_exact, solve_exact_min_resource};
+use resource_time_tradeoff::core::sp_dp::{solve_sp_exact, sp_min_resource};
+use resource_time_tradeoff::core::transform::to_arc_form;
+use resource_time_tradeoff::core::{min_resource, Instance, Job};
+use resource_time_tradeoff::dag::Dag;
+use resource_time_tradeoff::duration::Duration;
+
+/// A build-pipeline-shaped instance: fetch → [compile × 3 parallel] →
+/// link → test, with different contention per stage.
+fn build_pipeline() -> resource_time_tradeoff::core::ArcInstance {
+    let mut g: Dag<Job, ()> = Dag::new();
+    let fetch = g.add_node(Job::labeled("fetch", Duration::recursive_binary(16)));
+    let c1 = g.add_node(Job::labeled("compile-a", Duration::recursive_binary(64)));
+    let c2 = g.add_node(Job::labeled("compile-b", Duration::recursive_binary(32)));
+    let c3 = g.add_node(Job::labeled("compile-c", Duration::recursive_binary(32)));
+    let link = g.add_node(Job::labeled("link", Duration::recursive_binary(16)));
+    let test = g.add_node(Job::labeled("test", Duration::recursive_binary(64)));
+    for c in [c1, c2, c3] {
+        g.add_edge(fetch, c, ()).unwrap();
+        g.add_edge(c, link, ()).unwrap();
+    }
+    g.add_edge(link, test, ()).unwrap();
+    to_arc_form(&Instance::new(g).unwrap()).0
+}
+
+fn main() {
+    let arc = build_pipeline();
+    println!(
+        "build pipeline: base makespan {}, ideal {}, saturation budget {}",
+        arc.base_makespan(),
+        arc.ideal_makespan(),
+        arc.saturation_budget()
+    );
+
+    // ---- the budget problem, exactly --------------------------------
+    println!("\n== budget problem (exact): earliest finish per budget ==");
+    println!("{:>8} {:>10} {:>14}", "B", "makespan", "resource used");
+    let mut curve = Vec::new();
+    for b in [0u64, 4, 8, 16, 32, 64] {
+        let r = solve_exact(&arc, b);
+        println!(
+            "{:>8} {:>10} {:>14}",
+            b, r.solution.makespan, r.solution.budget_used
+        );
+        curve.push((b, r.solution.makespan));
+    }
+
+    // ---- the deadline problem, exactly — and the inverse check ------
+    println!("\n== deadline problem (exact): least budget per deadline ==");
+    println!("{:>8} {:>12} {:>10}", "deadline", "min budget", "inverse?");
+    for &(b, t) in &curve {
+        match solve_exact_min_resource(&arc, t) {
+            Some((need, _)) => {
+                let ok = need <= b;
+                println!("{:>8} {:>12} {:>10}", t, need, ok);
+                assert!(ok, "duality violated: needs {need} > {b} for deadline {t}");
+            }
+            None => println!("{:>8} {:>12} {:>10}", t, "—", "n/a"),
+        }
+    }
+
+    // ---- approximate min-resource with its guarantee ----------------
+    let target = arc.ideal_makespan() + (arc.base_makespan() - arc.ideal_makespan()) / 3;
+    println!("\n== approximate deadline (α = 0.5, Theorem 3.4 dual) ==");
+    match min_resource(&arc, target, 0.5) {
+        Ok(r) => println!(
+            "deadline {target}: LP needs ≥ {:.1}, rounded plan spends {} and finishes at {} (≤ 2×deadline = {})",
+            r.lp_budget,
+            r.solution.budget_used,
+            r.solution.makespan,
+            2 * target
+        ),
+        Err(e) => println!("deadline {target} unreachable: {e}"),
+    }
+
+    // ---- the same curve from one DP run on an SP instance ------------
+    // the pipeline above is series-parallel, so §3.4 gives the whole
+    // curve in one O(mB²) pass
+    if let Some((sp, _)) = solve_sp_exact(&arc, 64) {
+        println!("\n== §3.4 DP: the full curve from one run ==");
+        let marks: Vec<String> = (0..=64u64)
+            .step_by(8)
+            .map(|b| format!("{}→{}", b, sp.curve[b as usize]))
+            .collect();
+        println!("B→makespan: {}", marks.join("  "));
+        // cross-check the DP curve against the deadline direction
+        for t in [sp.curve[0], sp.curve[16], sp.curve[64]] {
+            if let Some(need) = sp_min_resource(&arc, t, 64) {
+                println!("deadline {t}: DP says {need} units suffice");
+            }
+        }
+    }
+}
