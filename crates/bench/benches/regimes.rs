@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use rtt_core::instance::{Activity, ArcInstance};
 use rtt_core::regimes::{global_reuse_schedule, sp_noreuse_curve, GlobalPolicy};
 use rtt_core::sp_dp::solve_sp_exact;

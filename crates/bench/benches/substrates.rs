@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use rtt_dag::gen;
 use rtt_flow::{max_flow, min_flow, BoundedEdge};
 use rtt_lp::Problem;

@@ -6,15 +6,47 @@
 //! repro table2 table3  # gadget timing tables
 //! repro fig1 fig2 fig3 fig45 fig67 fig89 fig1011 fig1214 fig1516 fig1718
 //! repro spdp lp        # §3.4 DP scaling, §3.1 LP quality
+//! repro bench-pr1 [--out PATH] [--smoke]   # perf baseline → BENCH_pr1.json
 //! ```
 
 use rtt_bench::experiments as exp;
+
+/// Runs the perf baseline and writes the JSON document.
+fn run_bench_pr1(args: &[String], trials: usize) {
+    let mut out_path = "BENCH_pr1.json".to_string();
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown bench-pr1 flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let report = rtt_bench::perf::measure(trials, smoke);
+    println!("{}", report.render());
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("writing {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro [all|table1|table2|table3|fig1|fig2|fig3|fig45|fig67|fig89|fig1011|fig1214|fig1516|fig1718|spdp|lp|regimes|alpha] ..."
+            "usage: repro [all|table1|table2|table3|fig1|fig2|fig3|fig45|fig67|fig89|fig1011|fig1214|fig1516|fig1718|spdp|lp|regimes|alpha|bench-pr1] ..."
         );
         std::process::exit(2);
     }
@@ -22,6 +54,16 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(4usize);
+    // bench-pr1 is a standalone subcommand (it takes its own flags), not
+    // a combinable experiment name.
+    if args[0] == "bench-pr1" {
+        run_bench_pr1(&args[1..], trials);
+        return;
+    }
+    if args.iter().any(|a| a == "bench-pr1") {
+        eprintln!("bench-pr1 must be the first argument (it takes its own flags)");
+        std::process::exit(2);
+    }
     for arg in &args {
         let reports = match arg.as_str() {
             "all" => exp::all_experiments(trials),

@@ -2,7 +2,7 @@
 
 use crate::table::TextTable;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use rtt_core::exact::{decide_feasible, solve_exact, solve_exact_min_resource};
 use rtt_core::instance::ArcInstance;
 use rtt_core::sp_dp::solve_sp_exact;
@@ -392,8 +392,7 @@ pub fn fig1011() -> Report {
     let mut report =
         Report::new("Figures 10-11 — minimum-resource gap (Thm 4.4): OPT = 2 ⟺ satisfiable");
     let mut t = TextTable::new(&["formula", "1-in-3 sat", "min resource", "gap holds"]);
-    let mut shown = 0;
-    for f in Formula::enumerate_all(3, 1) {
+    for (shown, f) in Formula::enumerate_all(3, 1).into_iter().enumerate() {
         let red = sat_chain::reduce(&f);
         let sat = f.solve_1in3().is_some();
         let (opt, _) = solve_exact_min_resource(&red.arc, red.target).unwrap();
@@ -404,7 +403,6 @@ pub fn fig1011() -> Report {
             opt.to_string(),
             (opt == want).to_string(),
         ]);
-        shown += 1;
     }
     report.push(t.render());
     report

@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod spec;
 
 pub use spec::{DurationSpec, EdgeSpec, Form, InstanceSpec, NodeSpec, SpecError};

@@ -75,8 +75,8 @@ impl Args {
 
 fn load(path: &str) -> Result<ArcInstance, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let spec: InstanceSpec =
-        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let spec =
+        InstanceSpec::from_json_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
     spec.build().map_err(|e| format!("building {path}: {e}"))
 }
 
@@ -103,10 +103,7 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
         .map_err(|e| format!("generated graph rejected: {e}"))?;
     let (arc, _) = rtt_core::to_arc_form(&inst);
     let spec = InstanceSpec::from_arc(&arc);
-    println!(
-        "{}",
-        serde_json::to_string_pretty(&spec).map_err(|e| e.to_string())?
-    );
+    println!("{}", spec.to_json_string());
     Ok(())
 }
 

@@ -18,15 +18,14 @@
 //! gadgets are built in); nodes then need no payload and `nodes` is just
 //! a count.
 
+use crate::json::{Json, JsonError};
 use rtt_core::{Activity, ArcInstance, Instance, InstanceError, Job};
 use rtt_dag::Dag;
 use rtt_duration::{Duration, Time, Tuple};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// A duration function, as serialized.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "lowercase")]
+/// A duration function, as serialized (`{"kind": "...", ...}`).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DurationSpec {
     /// `t(r) = 0` everywhere.
     Zero,
@@ -83,17 +82,16 @@ impl DurationSpec {
 }
 
 /// A node of a `form: "node"` instance.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NodeSpec {
-    /// Display label (optional).
-    #[serde(default)]
+    /// Display label (optional; defaults to empty).
     pub label: String,
     /// The node's duration function.
     pub duration: DurationSpec,
 }
 
 /// An edge; `duration` is used only by `form: "arc"` instances.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EdgeSpec {
     /// Source node index.
     pub src: usize,
@@ -101,16 +99,13 @@ pub struct EdgeSpec {
     pub dst: usize,
     /// Activity duration (arc form only; omit for precedence-only edges
     /// in node form).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub duration: Option<DurationSpec>,
-    /// Display label (optional).
-    #[serde(default, skip_serializing_if = "String::is_empty")]
+    /// Display label (optional; omitted from JSON when empty).
     pub label: String,
 }
 
 /// Whether jobs live on nodes (`D`) or on arcs (`D'`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "lowercase")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Form {
     /// Activity-on-node (the natural race-DAG form).
     Node,
@@ -119,7 +114,7 @@ pub enum Form {
 }
 
 /// The serialized instance.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InstanceSpec {
     /// Node vs arc form.
     pub form: Form,
@@ -147,6 +142,8 @@ pub enum SpecError {
     },
     /// The graph is not a two-terminal DAG.
     BadInstance(String),
+    /// The JSON text does not match the instance schema.
+    BadJson(String),
 }
 
 impl fmt::Display for SpecError {
@@ -158,6 +155,7 @@ impl fmt::Display for SpecError {
                 write!(f, "arc-form edge {edge} has no duration")
             }
             SpecError::BadInstance(e) => write!(f, "invalid instance: {e}"),
+            SpecError::BadJson(e) => write!(f, "invalid JSON: {e}"),
         }
     }
 }
@@ -167,6 +165,12 @@ impl std::error::Error for SpecError {}
 impl From<InstanceError> for SpecError {
     fn from(e: InstanceError) -> Self {
         SpecError::BadInstance(e.to_string())
+    }
+}
+
+impl From<JsonError> for SpecError {
+    fn from(e: JsonError) -> Self {
+        SpecError::BadJson(e.to_string())
     }
 }
 
@@ -221,6 +225,49 @@ impl InstanceSpec {
         }
     }
 
+    /// Serializes to pretty-printed JSON text.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Parses an instance from JSON text.
+    pub fn from_json_str(text: &str) -> Result<InstanceSpec, SpecError> {
+        Self::from_json(&Json::parse(text)?)
+    }
+
+    /// Serializes to a JSON tree.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("form".into(), self.form.to_json()),
+            (
+                "nodes".into(),
+                Json::Arr(self.nodes.iter().map(NodeSpec::to_json).collect()),
+            ),
+            (
+                "edges".into(),
+                Json::Arr(self.edges.iter().map(EdgeSpec::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Reads an instance from a JSON tree.
+    pub fn from_json(v: &Json) -> Result<InstanceSpec, SpecError> {
+        let form = Form::from_json(v.require("form")?)?;
+        let nodes = v
+            .require("nodes")?
+            .as_arr()?
+            .iter()
+            .map(NodeSpec::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let edges = v
+            .require("edges")?
+            .as_arr()?
+            .iter()
+            .map(EdgeSpec::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(InstanceSpec { form, nodes, edges })
+    }
+
     /// Serializes an arc instance.
     pub fn from_arc(arc: &ArcInstance) -> InstanceSpec {
         let d = arc.dag();
@@ -242,6 +289,136 @@ impl InstanceSpec {
                     label: e.weight.label.clone(),
                 })
                 .collect(),
+        }
+    }
+}
+
+impl Form {
+    fn to_json(self) -> Json {
+        Json::Str(
+            match self {
+                Form::Node => "node",
+                Form::Arc => "arc",
+            }
+            .into(),
+        )
+    }
+
+    fn from_json(v: &Json) -> Result<Form, SpecError> {
+        match v.as_str()? {
+            "node" => Ok(Form::Node),
+            "arc" => Ok(Form::Arc),
+            other => Err(SpecError::BadJson(format!("unknown form `{other}`"))),
+        }
+    }
+}
+
+impl NodeSpec {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("label".into(), Json::Str(self.label.clone())),
+            ("duration".into(), self.duration.to_json()),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<NodeSpec, SpecError> {
+        Ok(NodeSpec {
+            label: match v.get("label") {
+                Some(l) => l.as_str()?.to_string(),
+                None => String::new(),
+            },
+            duration: DurationSpec::from_json(v.require("duration")?)?,
+        })
+    }
+}
+
+impl EdgeSpec {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("src".into(), Json::UInt(self.src as u64)),
+            ("dst".into(), Json::UInt(self.dst as u64)),
+        ];
+        if let Some(d) = &self.duration {
+            fields.push(("duration".into(), d.to_json()));
+        }
+        if !self.label.is_empty() {
+            fields.push(("label".into(), Json::Str(self.label.clone())));
+        }
+        Json::Obj(fields)
+    }
+
+    fn from_json(v: &Json) -> Result<EdgeSpec, SpecError> {
+        Ok(EdgeSpec {
+            src: v.require("src")?.as_usize()?,
+            dst: v.require("dst")?.as_usize()?,
+            duration: match v.get("duration") {
+                None | Some(Json::Null) => None,
+                Some(d) => Some(DurationSpec::from_json(d)?),
+            },
+            label: match v.get("label") {
+                Some(l) => l.as_str()?.to_string(),
+                None => String::new(),
+            },
+        })
+    }
+}
+
+impl DurationSpec {
+    fn to_json(&self) -> Json {
+        let kind = |k: &str| ("kind".to_string(), Json::Str(k.into()));
+        match self {
+            DurationSpec::Zero => Json::Obj(vec![kind("zero")]),
+            DurationSpec::Constant { t } => {
+                Json::Obj(vec![kind("constant"), ("t".into(), Json::UInt(*t))])
+            }
+            DurationSpec::Step { tuples } => Json::Obj(vec![
+                kind("step"),
+                (
+                    "tuples".into(),
+                    Json::Arr(
+                        tuples
+                            .iter()
+                            .map(|&(r, t)| Json::Arr(vec![Json::UInt(r), Json::UInt(t)]))
+                            .collect(),
+                    ),
+                ),
+            ]),
+            DurationSpec::Kway { work } => {
+                Json::Obj(vec![kind("kway"), ("work".into(), Json::UInt(*work))])
+            }
+            DurationSpec::Recbinary { work } => {
+                Json::Obj(vec![kind("recbinary"), ("work".into(), Json::UInt(*work))])
+            }
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<DurationSpec, SpecError> {
+        match v.require("kind")?.as_str()? {
+            "zero" => Ok(DurationSpec::Zero),
+            "constant" => Ok(DurationSpec::Constant {
+                t: v.require("t")?.as_u64()?,
+            }),
+            "step" => Ok(DurationSpec::Step {
+                tuples: v
+                    .require("tuples")?
+                    .as_arr()?
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair.as_arr()?;
+                        if pair.len() != 2 {
+                            return Err(JsonError::shape("step tuple must be [resource, time]"));
+                        }
+                        Ok((pair[0].as_u64()?, pair[1].as_u64()?))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
+            "kway" => Ok(DurationSpec::Kway {
+                work: v.require("work")?.as_u64()?,
+            }),
+            "recbinary" => Ok(DurationSpec::Recbinary {
+                work: v.require("work")?.as_u64()?,
+            }),
+            other => Err(SpecError::BadJson(format!("unknown duration kind `{other}`"))),
         }
     }
 }
@@ -297,12 +474,31 @@ mod tests {
     #[test]
     fn json_round_trip() {
         let spec = chain_spec();
-        let text = serde_json::to_string_pretty(&spec).unwrap();
-        let back: InstanceSpec = serde_json::from_str(&text).unwrap();
+        let text = spec.to_json_string();
+        let back = InstanceSpec::from_json_str(&text).unwrap();
         let a = spec.build().unwrap();
         let b = back.build().unwrap();
         assert_eq!(a.base_makespan(), b.base_makespan());
         assert_eq!(a.dag().edge_count(), b.dag().edge_count());
+    }
+
+    #[test]
+    fn legacy_serde_format_still_parses() {
+        // A document exactly as the previous serde-based build wrote it.
+        let text = r#"{
+  "form": "node",
+  "nodes": [
+    { "label": "s", "duration": { "kind": "zero" } },
+    { "label": "x", "duration": { "kind": "step", "tuples": [[0, 10], [4, 0]] } },
+    { "duration": { "kind": "recbinary", "work": 64 } }
+  ],
+  "edges": [ { "src": 0, "dst": 1 }, { "src": 1, "dst": 2, "label": "hot" } ]
+}"#;
+        let spec = InstanceSpec::from_json_str(text).unwrap();
+        assert_eq!(spec.nodes.len(), 3);
+        assert_eq!(spec.nodes[2].label, "");
+        assert_eq!(spec.edges[1].label, "hot");
+        spec.build().unwrap();
     }
 
     #[test]

@@ -32,7 +32,7 @@ fn gen_produces_parseable_instances() {
     for kind in ["race", "layered", "sp", "chain"] {
         let path = gen_instance(&dir, kind, 6);
         let text = std::fs::read_to_string(&path).unwrap();
-        let spec: rtt_cli::InstanceSpec = serde_json::from_str(&text).unwrap();
+        let spec = rtt_cli::InstanceSpec::from_json_str(&text).unwrap();
         spec.build().unwrap();
     }
 }

@@ -61,8 +61,8 @@ pub use regimes::{
 };
 pub use solution::{routing_plan, validate, Route, RoutingPlan, Solution, ValidationError};
 pub use solvers::{
-    min_resource, solve_bicriteria, solve_kway_5approx, solve_recbinary_4approx,
-    solve_recbinary_improved, ApproxSolution, MinMakespan, SolveError,
+    min_resource, solve_bicriteria, solve_bicriteria_with, solve_kway_5approx,
+    solve_recbinary_4approx, solve_recbinary_improved, ApproxSolution, MinMakespan, SolveError,
 };
 pub use transform::{expand_two_tuples, to_arc_form, TwoTupleInstance};
 

@@ -20,7 +20,7 @@
 
 use crate::transform::TwoTupleInstance;
 use rtt_duration::{Resource, Time};
-use rtt_lp::{Outcome, Problem};
+use rtt_lp::{Engine, Outcome, Problem};
 use std::fmt;
 
 /// Finite stand-in for `∞` durations inside the LP.
@@ -175,6 +175,17 @@ pub fn solve_min_makespan_lp(
     tt: &TwoTupleInstance,
     budget: Resource,
 ) -> Result<FractionalSolution, LpError> {
+    solve_min_makespan_lp_with(tt, budget, Engine::Flat)
+}
+
+/// [`solve_min_makespan_lp`] under an explicit simplex [`Engine`]
+/// (`Engine::Reference` reproduces the pre-rewrite baseline; used by
+/// `rtt_bench`'s `bench-pr1` differential timing).
+pub fn solve_min_makespan_lp_with(
+    tt: &TwoTupleInstance,
+    budget: Resource,
+    engine: Engine,
+) -> Result<FractionalSolution, LpError> {
     let mut shape = build_shape(tt);
     // (9) budget at the source
     let budget_coeffs: Vec<(usize, f64)> = tt
@@ -189,7 +200,7 @@ pub fn solve_min_makespan_lp(
     // (10) minimize T_t
     let t_sink = shape.time_var[tt.sink.index()].expect("sink is not the source");
     shape.problem.set_objective(t_sink, 1.0);
-    match shape.problem.solve() {
+    match shape.problem.solve_with(engine) {
         Outcome::Optimal(s) => Ok(extract(tt, &shape, s)),
         Outcome::Infeasible => Err(LpError::Infeasible),
         Outcome::Unbounded => Err(LpError::Unbounded),

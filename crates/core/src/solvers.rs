@@ -2,7 +2,8 @@
 
 use crate::instance::ArcInstance;
 use crate::lp_build::{
-    solve_min_makespan_lp, solve_min_resource_lp, FractionalSolution, LpError,
+    solve_min_makespan_lp, solve_min_makespan_lp_with, solve_min_resource_lp,
+    FractionalSolution, LpError,
 };
 use crate::rounding::{alpha_round, route_min_flow};
 use crate::solution::Solution;
@@ -178,8 +179,22 @@ pub fn solve_bicriteria(
     budget: Resource,
     alpha: f64,
 ) -> Result<ApproxSolution, SolveError> {
+    solve_bicriteria_with(arc, budget, alpha, rtt_lp::Engine::Flat)
+}
+
+/// [`solve_bicriteria`] under an explicit simplex engine. The rounding
+/// and routing stages are identical; only the LP oracle changes. This is
+/// how `rtt_bench`'s `bench-pr1` harness measures the pipeline against
+/// the frozen pre-rewrite solver (`Engine::Reference`) in the same
+/// binary, so the recorded speedups are reproduced rather than claimed.
+pub fn solve_bicriteria_with(
+    arc: &ArcInstance,
+    budget: Resource,
+    alpha: f64,
+    engine: rtt_lp::Engine,
+) -> Result<ApproxSolution, SolveError> {
     let tt = expand_two_tuples(arc);
-    let frac = solve_min_makespan_lp(&tt, budget)?;
+    let frac = solve_min_makespan_lp_with(&tt, budget, engine)?;
     let lower = alpha_round(&tt, &frac, alpha);
     let (used, tt_flows) = route_min_flow(&tt, &lower);
     Ok(finish_on_tt(arc, &tt, frac, tt_flows, used, alpha))

@@ -10,8 +10,38 @@
 //! T(parallel, λ)   = min_{0 ≤ i ≤ λ} max(T(left, i), T(right, λ − i))
 //! ```
 //!
-//! — overall `O(m B²)` time, `O(m B)` space. The series rule is where
-//! *resource reuse over paths* enters: both children see the full λ.
+//! The series rule is where *resource reuse over paths* enters: both
+//! children see the full λ.
+//!
+//! # The `O(mB)` monotone merge
+//!
+//! The paper evaluates the parallel rule with an `O(B)` scan per budget,
+//! `O(B²)` per parallel node and `O(mB²)` overall. This implementation
+//! exploits that every DP table is **nonincreasing in λ** (more budget
+//! never hurts) to compute all `B + 1` outputs of a parallel node in a
+//! single two-pointer sweep:
+//!
+//! For fixed `λ`, `f(i) = max(T_x(i), T_y(λ − i))` is the max of a
+//! nonincreasing and a nondecreasing sequence in `i`, so it is
+//! V-shaped: it equals `T_x(i)` strictly before the *crossing index*
+//! `c(λ) = min { i : T_x(i) ≤ T_y(λ − i) }` and `T_y(λ − i)` from `c(λ)`
+//! on. The minimum is therefore attained at `c(λ)` or `c(λ) − 1`.
+//! Raising `λ` by one only lowers the right-hand side `T_y(λ − i)`, so
+//! `c(λ)` is **nondecreasing in λ** — one pointer advancing across the
+//! whole sweep visits every crossing index in `O(B)` amortized total
+//! steps ([`parallel_merge_monotone`]). That drops the DP to `O(B)` per
+//! node and `O(mB)` overall; `tests` and `proptest_invariants.rs` pin it
+//! against the naive scan ([`parallel_merge_naive`]).
+//!
+//! # Table arena
+//!
+//! Child tables are recycled into an arena the moment their parent's
+//! table is computed, so the number of *live* `B + 1`-entry tables is
+//! bounded by the decomposition-tree depth (plus the arena's free list
+//! reusing their allocations) instead of `m`. [`SpDpStats`] reports
+//! cells written, merge steps, and the live-table high-water mark;
+//! `rtt_bench`'s `bench-pr1` harness records them in `BENCH_pr1.json`
+//! as evidence of the `O(mB)` bound.
 
 use crate::instance::ArcInstance;
 use crate::solution::Solution;
@@ -33,22 +63,228 @@ pub struct SpSolution {
     pub levels: Vec<Resource>,
 }
 
+/// Work counters for one DP run (see the module docs; surfaced in
+/// `BENCH_pr1.json` to certify the `O(mB)` bound empirically).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpDpStats {
+    /// Leaf nodes evaluated.
+    pub leaves: usize,
+    /// Series compositions merged.
+    pub series: usize,
+    /// Parallel compositions merged.
+    pub parallels: usize,
+    /// Table entries written (`(B+1) ·` nodes — the `O(mB)` term).
+    pub cells: u64,
+    /// Inner-loop steps across all parallel merges (two-pointer sweeps:
+    /// `≤ 2(B+1)` per parallel node; the naive scan pays `Θ(B²)`).
+    pub merge_steps: u64,
+    /// High-water mark of simultaneously live DP tables (bounded by the
+    /// decomposition-tree depth thanks to the arena, not by `m`).
+    pub peak_live_tables: usize,
+}
+
+/// Merges two nonincreasing child tables at a parallel node in one
+/// two-pointer sweep: `out[λ] = min_i max(tx[i], ty[λ−i])` for every
+/// `λ` at once, `O(B)` amortized (see the module docs for the
+/// crossing-index argument). `choice[λ]` records an optimal split `i`.
+/// Returns the number of inner-loop steps taken.
+pub fn parallel_merge_monotone(
+    tx: &[Time],
+    ty: &[Time],
+    out: &mut Vec<Time>,
+    choice: &mut Vec<u32>,
+) -> u64 {
+    debug_assert_eq!(tx.len(), ty.len());
+    debug_assert!(tx.windows(2).all(|w| w[1] <= w[0]), "tx must be nonincreasing");
+    debug_assert!(ty.windows(2).all(|w| w[1] <= w[0]), "ty must be nonincreasing");
+    out.clear();
+    choice.clear();
+    let mut i = 0usize;
+    let mut steps = 0u64;
+    for l in 0..tx.len() {
+        // advance to the crossing index c(l) = min { i : tx[i] ≤ ty[l−i] };
+        // c is nondecreasing in l, so `i` never moves backwards
+        while i < l && tx[i] > ty[l - i] {
+            i += 1;
+            steps += 1;
+        }
+        // the V-shape leaves exactly two candidates: c(l) and c(l) − 1
+        let mut best = tx[i].max(ty[l - i]);
+        let mut split = i;
+        if i > 0 {
+            let alt = tx[i - 1].max(ty[l - i + 1]);
+            if alt < best {
+                best = alt;
+                split = i - 1;
+            }
+        }
+        out.push(best);
+        choice.push(split as u32);
+        steps += 1;
+    }
+    steps
+}
+
+/// The paper's direct `O(B²)` parallel-node scan, retained as the
+/// differential-testing and benchmarking baseline for
+/// [`parallel_merge_monotone`].
+pub fn parallel_merge_naive(tx: &[Time], ty: &[Time]) -> (Vec<Time>, Vec<u32>) {
+    debug_assert_eq!(tx.len(), ty.len());
+    if tx.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let b = tx.len() - 1;
+    let mut t = vec![Time::MAX; b + 1];
+    let mut choice = vec![0u32; b + 1];
+    for l in 0..=b {
+        for i in 0..=l {
+            let v = tx[i].max(ty[l - i]);
+            if v < t[l] {
+                t[l] = v;
+                choice[l] = i as u32;
+            }
+        }
+    }
+    (t, choice)
+}
+
+/// Recycles table allocations so at most tree-depth-many are live.
+#[derive(Default)]
+struct TableArena {
+    free: Vec<Vec<Time>>,
+    live: usize,
+    peak: usize,
+}
+
+impl TableArena {
+    fn alloc(&mut self) -> Vec<Time> {
+        self.live += 1;
+        self.peak = self.peak.max(self.live);
+        self.free.pop().unwrap_or_default()
+    }
+
+    fn recycle(&mut self, mut table: Vec<Time>) {
+        table.clear();
+        self.live -= 1;
+        self.free.push(table);
+    }
+}
+
 /// Runs the DP on an explicit decomposition tree.
 ///
 /// `duration_of(e)` supplies each leaf's duration function; `budget` is
 /// `B`. Returns the root table and an optimal allocation.
 pub fn solve_sp_tree(
     tree: &SpTree,
+    duration_of: impl FnMut(EdgeId) -> Duration,
+    budget: Resource,
+) -> (Vec<Time>, Vec<(EdgeId, Resource)>) {
+    let (table, alloc, _) = solve_sp_tree_with_stats(tree, duration_of, budget);
+    (table, alloc)
+}
+
+/// [`solve_sp_tree`] with work counters for benchmarking.
+pub fn solve_sp_tree_with_stats(
+    tree: &SpTree,
+    mut duration_of: impl FnMut(EdgeId) -> Duration,
+    budget: Resource,
+) -> (Vec<Time>, Vec<(EdgeId, Resource)>, SpDpStats) {
+    let b = budget as usize;
+    let order = tree.post_order();
+    let mut stats = SpDpStats::default();
+    let mut arena = TableArena::default();
+    // tables[node] = Vec<Time> of length b+1, taken (and recycled) by
+    // the parent as soon as it has merged them
+    let mut tables: Vec<Option<Vec<Time>>> = vec![None; tree.len()];
+    // split choice for parallel nodes (per λ), for allocation recovery
+    let mut splits: Vec<Option<Vec<u32>>> = vec![None; tree.len()];
+    // cached durations for leaves (recovery needs them again)
+    let mut durs: Vec<Option<Duration>> = vec![None; tree.len()];
+
+    for id in &order {
+        let table = match tree.kind(*id) {
+            SpKind::Leaf(e) => {
+                let dur = duration_of(e);
+                let mut t = arena.alloc();
+                t.extend((0..=b).map(|l| dur.time(l as Resource)));
+                durs[id.index()] = Some(dur);
+                stats.leaves += 1;
+                t
+            }
+            SpKind::Series(x, y) => {
+                let tx = tables[x.index()].take().expect("post-order");
+                let ty = tables[y.index()].take().expect("post-order");
+                let mut t = arena.alloc();
+                t.extend(
+                    tx.iter()
+                        .zip(&ty)
+                        .map(|(&a, &b)| a.saturating_add(b)),
+                );
+                arena.recycle(tx);
+                arena.recycle(ty);
+                stats.series += 1;
+                t
+            }
+            SpKind::Parallel(x, y) => {
+                let tx = tables[x.index()].take().expect("post-order");
+                let ty = tables[y.index()].take().expect("post-order");
+                let mut t = arena.alloc();
+                let mut choice = Vec::with_capacity(b + 1);
+                stats.merge_steps += parallel_merge_monotone(&tx, &ty, &mut t, &mut choice);
+                arena.recycle(tx);
+                arena.recycle(ty);
+                splits[id.index()] = Some(choice);
+                stats.parallels += 1;
+                t
+            }
+        };
+        stats.cells += (b + 1) as u64;
+        tables[id.index()] = Some(table);
+    }
+    stats.peak_live_tables = arena.peak;
+
+    let root_table = tables[tree.root().index()].take().expect("root computed");
+
+    // ---- allocation recovery (iterative stack walk)
+    let mut alloc: Vec<(EdgeId, Resource)> = Vec::new();
+    let mut stack = vec![(tree.root(), budget)];
+    while let Some((id, lambda)) = stack.pop() {
+        match tree.kind(id) {
+            SpKind::Leaf(e) => {
+                // leaf tables were recycled; t(λ) is just the duration
+                let dur = durs[id.index()].as_ref().expect("leaf evaluated");
+                let t = dur.time(lambda);
+                let spend = dur.resource_for_time(t).unwrap_or(0);
+                alloc.push((e, spend));
+            }
+            SpKind::Series(x, y) => {
+                // reuse over the path: both children get the full λ
+                stack.push((x, lambda));
+                stack.push((y, lambda));
+            }
+            SpKind::Parallel(x, y) => {
+                let i = splits[id.index()].as_ref().expect("parallel split")
+                    [lambda as usize] as Resource;
+                stack.push((x, i));
+                stack.push((y, lambda - i));
+            }
+        }
+    }
+    (root_table, alloc, stats)
+}
+
+/// The pre-optimization DP (per-node `Vec` tables, naive `O(B²)`
+/// parallel scans), retained verbatim so `bench-pr1` can measure the
+/// speedup it claims and tests can differential-check the fast path.
+pub fn solve_sp_tree_naive(
+    tree: &SpTree,
     mut duration_of: impl FnMut(EdgeId) -> Duration,
     budget: Resource,
 ) -> (Vec<Time>, Vec<(EdgeId, Resource)>) {
     let b = budget as usize;
     let order = tree.post_order();
-    // tables[node] = Vec<Time> of length b+1
     let mut tables: Vec<Option<Vec<Time>>> = vec![None; tree.len()];
-    // split choice for parallel nodes (per λ), for allocation recovery
     let mut splits: Vec<Option<Vec<u32>>> = vec![None; tree.len()];
-    // cached durations for leaves (recovery needs them again)
     let mut durs: Vec<Option<Duration>> = vec![None; tree.len()];
 
     for id in &order {
@@ -69,17 +305,7 @@ pub fn solve_sp_tree(
             SpKind::Parallel(x, y) => {
                 let tx = tables[x.index()].as_ref().expect("post-order");
                 let ty = tables[y.index()].as_ref().expect("post-order");
-                let mut t = vec![Time::MAX; b + 1];
-                let mut choice = vec![0u32; b + 1];
-                for l in 0..=b {
-                    for i in 0..=l {
-                        let v = tx[i].max(ty[l - i]);
-                        if v < t[l] {
-                            t[l] = v;
-                            choice[l] = i as u32;
-                        }
-                    }
-                }
+                let (t, choice) = parallel_merge_naive(tx, ty);
                 splits[id.index()] = Some(choice);
                 t
             }
@@ -89,7 +315,6 @@ pub fn solve_sp_tree(
 
     let root_table = tables[tree.root().index()].clone().expect("root computed");
 
-    // ---- allocation recovery (iterative stack walk)
     let mut alloc: Vec<(EdgeId, Resource)> = Vec::new();
     let mut stack = vec![(tree.root(), budget)];
     while let Some((id, lambda)) = stack.pop() {
@@ -101,7 +326,6 @@ pub fn solve_sp_tree(
                 alloc.push((e, spend));
             }
             SpKind::Series(x, y) => {
-                // reuse over the path: both children get the full λ
                 stack.push((x, lambda));
                 stack.push((y, lambda));
             }
@@ -295,5 +519,103 @@ mod tests {
         assert_eq!(sp.makespan, 18);
         assert_eq!(sol.budget_used, 0);
         assert_eq!(sp.curve.len(), 1);
+    }
+
+    /// Deterministic pseudo-random nonincreasing table.
+    fn pseudo_table(seed: u64, len: usize, start: Time) -> Vec<Time> {
+        let mut t = start;
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let drop = (state >> 60) % 4;
+                t = t.saturating_sub(drop);
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn monotone_merge_matches_naive_on_random_tables() {
+        for seed in 0..200u64 {
+            let len = 1 + (seed as usize % 40);
+            let tx = pseudo_table(seed * 2 + 1, len, 30 + seed % 50);
+            let ty = pseudo_table(seed * 2 + 2, len, 25 + seed % 60);
+            let (naive, _) = parallel_merge_naive(&tx, &ty);
+            let mut fast = Vec::new();
+            let mut choice = Vec::new();
+            let steps = parallel_merge_monotone(&tx, &ty, &mut fast, &mut choice);
+            assert_eq!(fast, naive, "seed {seed}: tables diverge");
+            // the recorded split must achieve the table value
+            for l in 0..len {
+                let i = choice[l] as usize;
+                assert!(i <= l);
+                assert_eq!(tx[i].max(ty[l - i]), fast[l], "seed {seed}, λ={l}");
+            }
+            // O(B): one step per λ plus at most len pointer advances
+            assert!(steps <= 2 * len as u64, "seed {seed}: {steps} steps");
+        }
+    }
+
+    #[test]
+    fn merges_accept_empty_tables() {
+        let (t, c) = parallel_merge_naive(&[], &[]);
+        assert!(t.is_empty() && c.is_empty());
+        let mut out = vec![1];
+        let mut choice = vec![1];
+        parallel_merge_monotone(&[], &[], &mut out, &mut choice);
+        assert!(out.is_empty() && choice.is_empty());
+    }
+
+    #[test]
+    fn monotone_merge_handles_infinite_sentinels() {
+        let tx = vec![rtt_duration::INF, 5, 5, 0];
+        let ty = vec![rtt_duration::INF, rtt_duration::INF, 3, 3];
+        let (naive, _) = parallel_merge_naive(&tx, &ty);
+        let mut fast = Vec::new();
+        let mut choice = Vec::new();
+        parallel_merge_monotone(&tx, &ty, &mut fast, &mut choice);
+        assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn fast_dp_matches_naive_dp_end_to_end() {
+        let arc = serial_chain();
+        let d = arc.dag();
+        let tree = decompose(d, arc.source(), arc.sink()).unwrap();
+        for b in 0..=8u64 {
+            let (fast, _) = solve_sp_tree(&tree, |e| d.edge(e).duration.clone(), b);
+            let (naive, _) = solve_sp_tree_naive(&tree, |e| d.edge(e).duration.clone(), b);
+            assert_eq!(fast, naive, "budget {b}");
+        }
+    }
+
+    #[test]
+    fn stats_certify_linear_work_and_bounded_liveness() {
+        // A wide parallel bundle: every useful level distinct.
+        let mut g: Dag<(), Activity> = Dag::new();
+        let s = g.add_node(());
+        let t = g.add_node(());
+        for i in 0..16u64 {
+            g.add_edge(s, t, Activity::new(Duration::two_point(20 + i, 2 + i % 3, 1)))
+                .unwrap();
+        }
+        let arc = ArcInstance::new(g).unwrap();
+        let d = arc.dag();
+        let tree = decompose(d, arc.source(), arc.sink()).unwrap();
+        let budget = 64u64;
+        let (_, _, stats) =
+            solve_sp_tree_with_stats(&tree, |e| d.edge(e).duration.clone(), budget);
+        assert_eq!(stats.leaves, 16);
+        assert_eq!(stats.parallels, 15);
+        let nodes = (stats.leaves + stats.series + stats.parallels) as u64;
+        assert_eq!(stats.cells, nodes * (budget + 1));
+        // O(mB): every parallel merge stays within 2(B+1) steps
+        assert!(
+            stats.merge_steps <= stats.parallels as u64 * 2 * (budget + 1),
+            "{stats:?}"
+        );
+        // the arena keeps liveness near tree depth, far below m
+        assert!(stats.peak_live_tables <= 18, "{stats:?}");
     }
 }

@@ -10,7 +10,7 @@
 use crate::graph::{Dag, NodeId};
 use crate::normalize::normalize_source_sink;
 use crate::sp::SpTree;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A generated two-terminal DAG.
 #[derive(Debug, Clone)]

@@ -280,7 +280,7 @@ mod tests {
             (2, 3, 5),
         ];
         let r = max_flow(4, &edges, 0, 3);
-        let mut net = vec![0i64; 4];
+        let mut net = [0i64; 4];
         for (i, &(u, v, _)) in edges.iter().enumerate() {
             net[u] -= r.edge_flow[i] as i64;
             net[v] += r.edge_flow[i] as i64;

@@ -54,7 +54,7 @@ impl Numerical3dm {
     /// The per-triple target `T` if the totals divide evenly.
     pub fn triple_target(&self) -> Option<u64> {
         let total: u64 = self.a.iter().chain(&self.b).chain(&self.c).sum();
-        (total % self.n() as u64 == 0).then(|| total / self.n() as u64)
+        total.is_multiple_of(self.n() as u64).then(|| total / self.n() as u64)
     }
 
     /// Brute-force: permutations `σ, τ` with

@@ -51,7 +51,7 @@ impl PartitionInstance {
     /// Brute-force: a subset summing to `B/2`, as a bitmask, if any.
     pub fn solve(&self) -> Option<u64> {
         let b = self.total();
-        if b % 2 != 0 {
+        if !b.is_multiple_of(2) {
             return None;
         }
         let n = self.items.len();

@@ -161,7 +161,6 @@ impl Formula {
 
     /// Random formula with the given shape.
     pub fn random<R: rand::Rng>(rng: &mut R, n_vars: usize, m: usize) -> Formula {
-        use rand::RngExt;
         assert!(n_vars >= 3);
         let clauses = (0..m)
             .map(|_| {

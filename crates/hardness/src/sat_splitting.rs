@@ -297,7 +297,7 @@ mod tests {
             // route honestly: 2 units per var along the truth branch,
             // 2+2 through the clause diamond (stopping the exit choice).
             let mut flows = vec![0u64; d.edge_count()];
-            let mut route = |path: &[NodeId], amount: u64, flows: &mut Vec<u64>| {
+            let route = |path: &[NodeId], amount: u64, flows: &mut Vec<u64>| {
                 for w in path.windows(2) {
                     let e = d
                         .out_edges(w[0])

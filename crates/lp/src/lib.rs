@@ -6,10 +6,16 @@
 //! crate *is* that oracle: a dense two-phase primal simplex with
 //!
 //! * `≤` / `=` / `≥` rows and per-variable upper bounds,
-//! * Dantzig pricing with a Bland's-rule fallback for anti-cycling,
+//! * a single-allocation **flat row-major tableau** with AXPY pivot
+//!   updates and a post-phase-1 column shrink (the module docs in
+//!   `simplex.rs` describe the layout),
+//! * selectable pivot rules ([`PivotRule`]): Dantzig pricing with a
+//!   Bland's-rule fallback for anti-cycling, or pure Bland,
 //! * infeasibility and unboundedness certificates,
 //! * deterministic behaviour (no randomization), small-tolerance
-//!   numerics suitable for the integral-data LPs the reduction produces.
+//!   numerics suitable for the integral-data LPs the reduction produces,
+//! * the pre-rewrite solver preserved in [`reference`] for differential
+//!   testing and benchmark baselining ([`Engine`]).
 //!
 //! The solver is exact enough for the pipeline: every LP built by
 //! `rtt-core` has integer input data, and the rounding scheme of §3.1
@@ -35,10 +41,11 @@
 #![warn(missing_docs)]
 
 mod problem;
+pub mod reference;
 mod simplex;
 
 pub use problem::{Cmp, Problem, Row};
-pub use simplex::{Outcome, Solution};
+pub use simplex::{Engine, Outcome, PivotRule, Solution};
 
 /// Default feasibility/optimality tolerance.
 pub const TOL: f64 = 1e-8;

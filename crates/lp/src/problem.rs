@@ -1,6 +1,6 @@
 //! LP model builder.
 
-use crate::simplex::{solve_standard, Outcome};
+use crate::simplex::{solve_standard, Engine, Outcome, PivotRule};
 
 /// Row sense.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,9 +97,21 @@ impl Problem {
         self.add_row(coeffs, Cmp::Ge, rhs);
     }
 
-    /// Solves the problem with the two-phase simplex.
+    /// Solves the problem with the flat-tableau two-phase simplex
+    /// (Dantzig pricing with automatic Bland fallback).
     pub fn solve(&self) -> Outcome {
-        solve_standard(self)
+        solve_standard(self, PivotRule::Dantzig)
+    }
+
+    /// Solves with an explicit engine: the flat solver under a chosen
+    /// [`PivotRule`], or the frozen pre-rewrite [`crate::reference`]
+    /// baseline (differential tests and perf baselining).
+    pub fn solve_with(&self, engine: Engine) -> Outcome {
+        match engine {
+            Engine::Flat => solve_standard(self, PivotRule::Dantzig),
+            Engine::FlatWith(rule) => solve_standard(self, rule),
+            Engine::Reference => crate::reference::solve_reference(self),
+        }
     }
 
     /// Checks whether `x` satisfies every constraint (and bound) within

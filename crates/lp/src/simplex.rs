@@ -1,7 +1,71 @@
-//! Dense two-phase primal simplex.
+//! Dense two-phase primal simplex over a **flat** tableau.
+//!
+//! # Tableau layout
+//!
+//! The `m × n_cols` coefficient matrix lives in one contiguous row-major
+//! `Vec<f64>` (a single allocation for the whole solve); row `i` is the
+//! slice `a[i*n_cols .. (i+1)*n_cols]`. Columns are laid out as
+//! `[original variables | slacks/surplus | artificials]`, with the
+//! artificials last on purpose: once phase 1 ends they can never re-enter
+//! the basis, so phase 2 simply shrinks the *active* column count
+//! (`active`) and every subsequent pricing pass, pivot update, and
+//! reduced-cost update runs over the shorter prefix. Rows that keep an
+//! artificial basic (redundant all-zero rows) are harmless — their stale
+//! artificial columns are never read again.
+//!
+//! # Pivot structure
+//!
+//! A pivot on `(r, c)` normalizes row `r` in place, copies it once into a
+//! reusable scratch buffer, and then updates every other row with an
+//! AXPY-style loop over two disjoint flat slices
+//! (`row_i[j] -= factor * scratch[j]`) — no index arithmetic, no split
+//! borrows, exactly the shape LLVM auto-vectorizes. Rows whose
+//! pivot-column factor is below tolerance are skipped before their cache
+//! lines are ever touched. The scratch row's nonzero columns are indexed
+//! once per pivot; while the pivot row is sparse (the common case for
+//! the LP 6–10 network matrices this crate serves — rows start with ~3
+//! structural nonzeros) each row update walks only those indices, and
+//! the dense vectorized loop takes over automatically once fill-in
+//! passes 50%. On the `bicriteria_thm34` pipeline this is worth ~2.7×
+//! end-to-end over the retained [`crate::reference`] baseline (see
+//! `BENCH_pr1.json`).
+//!
+//! # Pivot rules
+//!
+//! [`PivotRule::Dantzig`] prices the most-negative reduced cost and
+//! falls back to Bland's rule automatically after a stall threshold
+//! (`20·(m+n) + 1000` iterations) to guarantee termination on degenerate
+//! tableaus; [`PivotRule::Bland`] runs the anti-cycling rule from the
+//! first iteration. The pre-rewrite solver is preserved in
+//! [`crate::reference`] and `tests/flat_vs_reference.rs` pins this
+//! implementation to its objectives.
 
 use crate::problem::{Cmp, Problem};
 use crate::TOL;
+
+/// Entering-column selection rule for the simplex loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PivotRule {
+    /// Most-negative reduced cost, with an automatic switch to Bland's
+    /// rule if the solve stalls (the default).
+    #[default]
+    Dantzig,
+    /// Bland's anti-cycling rule (smallest eligible index) from the
+    /// start. Slower but cycle-free by construction.
+    Bland,
+}
+
+/// Which solver implementation to run (see [`Problem::solve_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The flat-tableau solver of this module.
+    #[default]
+    Flat,
+    /// The flat-tableau solver under a fixed pivot rule.
+    FlatWith(PivotRule),
+    /// The frozen pre-rewrite baseline ([`crate::reference`]).
+    Reference,
+}
 
 /// Result of solving an LP.
 #[derive(Debug, Clone)]
@@ -43,60 +107,130 @@ pub struct Solution {
     pub pivots: usize,
 }
 
+/// Entries with `|factor| ≤ SKIP_TOL` are treated as an exact zero when
+/// deciding whether a row participates in a pivot update.
+const SKIP_TOL: f64 = TOL * 1e-3;
+
+/// Relative drop tolerance for pivot-row normalization: entries below
+/// `DROP_REL · max|row|` are snapped to exact zero so cancellation dust
+/// cannot densify the nonzero index. Set a small factor above machine
+/// epsilon (2⁻⁵² ≈ 2.2e-16): a surviving entry this small relative to
+/// its own row is indistinguishable from the roundoff the dense AXPY
+/// path commits anyway, so dropping it perturbs nothing the dense
+/// computation could have preserved — even in rows mixing unit and
+/// `LP_BIG`-scale coefficients, where any *looser* relative (or any
+/// absolute) cutoff would delete genuine small entries.
+const DROP_REL: f64 = 1e-15;
+
 struct Tableau {
-    /// m rows × n_cols coefficient matrix (dense).
-    a: Vec<Vec<f64>>,
+    /// Number of rows.
+    m: usize,
+    /// Allocated columns (row stride).
+    n_cols: usize,
+    /// Columns eligible for pricing and updates; shrinks to exclude the
+    /// trailing artificials after phase 1.
+    active: usize,
+    /// Flat row-major `m × n_cols` coefficient matrix.
+    a: Vec<f64>,
     /// Right-hand sides (kept ≥ 0 up to tolerance).
     b: Vec<f64>,
     /// Reduced-cost row.
     rc: Vec<f64>,
     /// Basic column per row.
     basis: Vec<usize>,
-    /// Columns that may never enter (artificials in phase 2).
+    /// Columns that may never enter (artificials in phase 2; only
+    /// consulted while `active` still covers them).
     banned: Vec<bool>,
+    /// Reusable copy of the normalized pivot row (AXPY source).
+    scratch: Vec<f64>,
+    /// Reusable index list of `scratch`'s nonzero columns.
+    scratch_nz: Vec<u32>,
     pivots: usize,
 }
 
 impl Tableau {
     fn pivot(&mut self, r: usize, c: usize) {
-        let m = self.a.len();
-        let piv = self.a[r][c];
+        let n = self.n_cols;
+        let w = self.active;
+        let start = r * n;
+        let piv = self.a[start + c];
         debug_assert!(piv.abs() > TOL);
         let inv = 1.0 / piv;
-        for v in self.a[r].iter_mut() {
-            *v *= inv;
+        {
+            let row_r = &mut self.a[start..start + w];
+            let mut scale = 0.0f64;
+            for v in row_r.iter_mut() {
+                *v *= inv;
+                scale = scale.max(v.abs());
+            }
+            // Re-normalize the pivot entry exactly.
+            row_r[c] = 1.0;
+            let drop = scale.max(1.0) * DROP_REL;
+            for v in row_r.iter_mut() {
+                if v.abs() <= drop {
+                    *v = 0.0;
+                }
+            }
+            self.scratch[..w].copy_from_slice(row_r);
         }
         self.b[r] *= inv;
-        // Re-normalize the pivot entry exactly.
-        self.a[r][c] = 1.0;
-        for i in 0..m {
+        let br = self.b[r];
+        let scratch = &self.scratch[..w];
+        // The LPs this crate serves (LP 6–10 network matrices) keep
+        // pivot rows sparse for most of the solve: index the nonzeros
+        // once and update only those columns per row, falling back to
+        // the dense AXPY when fill-in makes indexing pointless. Only
+        // exact structural zeros may be skipped — the pipeline's LPs mix
+        // unit coefficients with `LP_BIG`-scale ones, so any magnitude
+        // threshold here would drop updates that still matter.
+        self.scratch_nz.clear();
+        for (j, &v) in scratch.iter().enumerate() {
+            if v != 0.0 {
+                self.scratch_nz.push(j as u32);
+            }
+        }
+        let sparse = self.scratch_nz.len() * 2 < w;
+        for i in 0..self.m {
             if i == r {
                 continue;
             }
-            let factor = self.a[i][c];
-            if factor.abs() <= TOL * 1e-3 {
-                self.a[i][c] = 0.0;
+            let istart = i * n;
+            let factor = self.a[istart + c];
+            // Skip rows the pivot column does not touch before reading
+            // the rest of the row.
+            if factor.abs() <= SKIP_TOL {
+                self.a[istart + c] = 0.0;
                 continue;
             }
-            let (head, tail) = self.a.split_at_mut(r.max(i));
-            let (row_i, row_r) = if i < r {
-                (&mut head[i], &tail[0])
+            let row_i = &mut self.a[istart..istart + w];
+            if sparse {
+                for &j in &self.scratch_nz {
+                    let j = j as usize;
+                    row_i[j] -= factor * scratch[j];
+                }
             } else {
-                (&mut tail[0], &head[r])
-            };
-            for (vi, vr) in row_i.iter_mut().zip(row_r.iter()) {
-                *vi -= factor * *vr;
+                for (vi, vr) in row_i.iter_mut().zip(scratch) {
+                    *vi -= factor * *vr;
+                }
             }
             row_i[c] = 0.0;
-            self.b[i] -= factor * self.b[r];
-            if self.b[i].abs() < TOL * 1e-3 {
+            self.b[i] -= factor * br;
+            if self.b[i].abs() < SKIP_TOL {
                 self.b[i] = 0.0;
             }
         }
         let factor = self.rc[c];
-        if factor.abs() > 0.0 {
-            for (j, v) in self.rc.iter_mut().enumerate() {
-                *v -= factor * self.a[r][j];
+        if factor != 0.0 {
+            if sparse {
+                let rc = &mut self.rc[..w];
+                for &j in &self.scratch_nz {
+                    let j = j as usize;
+                    rc[j] -= factor * scratch[j];
+                }
+            } else {
+                for (v, vr) in self.rc[..w].iter_mut().zip(scratch) {
+                    *v -= factor * *vr;
+                }
             }
             self.rc[c] = 0.0;
         }
@@ -106,11 +240,14 @@ impl Tableau {
 
     /// Runs the simplex loop on the current (feasible) tableau.
     /// Returns `false` on unboundedness.
-    fn optimize(&mut self) -> bool {
-        let n = self.rc.len();
-        let m = self.a.len();
+    fn optimize(&mut self, rule: PivotRule) -> bool {
+        let n = self.n_cols;
+        let m = self.m;
         // Switch to Bland's rule after a generous number of Dantzig steps.
-        let bland_after = 20 * (m + n) + 1000;
+        let bland_after = match rule {
+            PivotRule::Dantzig => 20 * (m + n) + 1000,
+            PivotRule::Bland => 0,
+        };
         let hard_cap = 2_000 * (m + n) + 100_000;
         let mut iters = 0usize;
         loop {
@@ -120,14 +257,17 @@ impl Tableau {
                 "simplex exceeded {hard_cap} iterations; numerical cycling?"
             );
             let bland = iters > bland_after;
-            // --- pricing
+            // --- pricing (over the active column prefix only)
             let mut enter: Option<usize> = None;
             let mut best = -TOL;
-            for j in 0..n {
-                if self.banned[j] {
+            for (j, (&r, &ban)) in self.rc[..self.active]
+                .iter()
+                .zip(&self.banned[..self.active])
+                .enumerate()
+            {
+                if ban {
                     continue;
                 }
-                let r = self.rc[j];
                 if r < best {
                     enter = Some(j);
                     if bland {
@@ -139,11 +279,11 @@ impl Tableau {
             let Some(c) = enter else {
                 return true; // optimal
             };
-            // --- ratio test
+            // --- ratio test (strided column walk)
             let mut leave: Option<usize> = None;
             let mut best_ratio = f64::INFINITY;
             for i in 0..m {
-                let a = self.a[i][c];
+                let a = self.a[i * n + c];
                 if a > TOL {
                     let ratio = self.b[i] / a;
                     let better = ratio < best_ratio - TOL
@@ -163,10 +303,9 @@ impl Tableau {
     }
 }
 
-/// Builds the standard-form tableau and runs both phases.
-pub(crate) fn solve_standard(p: &Problem) -> Outcome {
+/// Builds the standard-form flat tableau and runs both phases.
+pub(crate) fn solve_standard(p: &Problem, rule: PivotRule) -> Outcome {
     // Collect all rows: user rows + upper-bound rows.
-    #[derive(Clone)]
     struct NRow {
         coeffs: Vec<(usize, f64)>,
         cmp: Cmp,
@@ -207,86 +346,79 @@ pub(crate) fn solve_standard(p: &Problem) -> Outcome {
 
     let m = rows.len();
     let n0 = p.n_vars;
-    // Column layout: [original | slacks/surplus | artificials]
+    // Column layout: [original | slacks/surplus | artificials]; the
+    // artificials trail so phase 2 can drop them by shrinking `active`.
     let n_slack = rows.len(); // at most one per row (Le slack or Ge surplus)
-    let mut n_art = 0usize;
-    for r in &rows {
-        if !matches!(r.cmp, Cmp::Le) {
-            n_art += 1;
-        }
-    }
+    let n_art = rows.iter().filter(|r| !matches!(r.cmp, Cmp::Le)).count();
     let n_cols = n0 + n_slack + n_art;
+    let n_real = n0 + n_slack;
 
-    let mut a = vec![vec![0.0; n_cols]; m];
-    let mut b = vec![0.0; m];
-    let mut basis = vec![usize::MAX; m];
-    let mut art_cols: Vec<usize> = Vec::with_capacity(n_art);
-    let mut next_art = n0 + n_slack;
+    let mut t = Tableau {
+        m,
+        n_cols,
+        active: n_cols,
+        a: vec![0.0; m * n_cols],
+        b: vec![0.0; m],
+        rc: vec![0.0; n_cols],
+        basis: vec![usize::MAX; m],
+        banned: vec![false; n_cols],
+        scratch: vec![0.0; n_cols],
+        scratch_nz: Vec::with_capacity(n_cols),
+        pivots: 0,
+    };
+    let mut next_art = n_real;
     for (i, r) in rows.iter().enumerate() {
+        let row = &mut t.a[i * n_cols..(i + 1) * n_cols];
         for &(j, v) in &r.coeffs {
-            a[i][j] += v;
+            row[j] += v;
         }
-        b[i] = r.rhs;
+        t.b[i] = r.rhs;
         match r.cmp {
             Cmp::Le => {
-                a[i][n0 + i] = 1.0;
-                basis[i] = n0 + i;
+                row[n0 + i] = 1.0;
+                t.basis[i] = n0 + i;
             }
             Cmp::Ge => {
-                a[i][n0 + i] = -1.0;
-                a[i][next_art] = 1.0;
-                basis[i] = next_art;
-                art_cols.push(next_art);
+                row[n0 + i] = -1.0;
+                row[next_art] = 1.0;
+                t.basis[i] = next_art;
                 next_art += 1;
             }
             Cmp::Eq => {
-                a[i][next_art] = 1.0;
-                basis[i] = next_art;
-                art_cols.push(next_art);
+                row[next_art] = 1.0;
+                t.basis[i] = next_art;
                 next_art += 1;
             }
         }
     }
 
     // ---- Phase 1: minimize sum of artificials.
-    let mut t = Tableau {
-        a,
-        b,
-        rc: vec![0.0; n_cols],
-        basis,
-        banned: vec![false; n_cols],
-        pivots: 0,
-    };
-    if !art_cols.is_empty() {
+    if n_art > 0 {
+        let is_art = |col: usize| col >= n_real;
         // rc_j = c_j − Σ_{rows with artificial basic} a[i][j]
-        let art_set: Vec<bool> = {
-            let mut v = vec![false; n_cols];
-            for &c in &art_cols {
-                v[c] = true;
-            }
-            v
-        };
         for j in 0..n_cols {
-            let mut rc = if art_set[j] { 1.0 } else { 0.0 };
-            for i in 0..m {
-                if art_set[t.basis[i]] {
-                    rc -= t.a[i][j];
+            t.rc[j] = if is_art(j) { 1.0 } else { 0.0 };
+        }
+        for i in 0..m {
+            if is_art(t.basis[i]) {
+                let row = &t.a[i * n_cols..(i + 1) * n_cols];
+                for (rc, &v) in t.rc.iter_mut().zip(row) {
+                    *rc -= v;
                 }
             }
-            t.rc[j] = rc;
         }
-        let bounded = t.optimize();
+        let bounded = t.optimize(rule);
         debug_assert!(bounded, "phase 1 objective is bounded below by 0");
         let phase1: f64 = (0..m)
-            .filter(|&i| art_set[t.basis[i]])
+            .filter(|&i| is_art(t.basis[i]))
             .map(|i| t.b[i])
             .sum();
         if phase1 > 1e-6 {
             return Outcome::Infeasible;
         }
         // Ban artificials from re-entering.
-        for &c in &art_cols {
-            t.banned[c] = true;
+        for j in n_real..n_cols {
+            t.banned[j] = true;
         }
         // Drive artificials that are still basic (at value ~0) OUT of the
         // basis: a later pivot on another column could otherwise raise a
@@ -295,21 +427,24 @@ pub(crate) fn solve_standard(p: &Problem) -> Outcome {
         // coefficient; a row with none is redundant (all-zero row) and
         // its artificial can never change value again.
         for i in 0..m {
-            if art_set[t.basis[i]] {
+            if is_art(t.basis[i]) {
                 t.b[i] = 0.0; // clamp the ~0 residual exactly
-                if let Some(j) =
-                    (0..n_cols).find(|&j| !art_set[j] && t.a[i][j].abs() > 1e-7)
-                {
+                let row = &t.a[i * n_cols..i * n_cols + n_real];
+                if let Some(j) = (0..n_real).find(|&j| row[j].abs() > 1e-7) {
                     t.pivot(i, j);
                 }
             }
         }
+        // The artificial columns are dead from here on: pricing, pivot
+        // updates, and rc maintenance all stop at `active`. Rows whose
+        // basis is still an artificial (redundant rows) keep b = 0 and
+        // are never extracted.
+        t.active = n_real;
     }
 
     // ---- Phase 2: original objective.
-    for j in 0..n_cols {
-        let cj = if j < n0 { p.objective[j] } else { 0.0 };
-        t.rc[j] = cj;
+    for j in 0..t.active {
+        t.rc[j] = if j < n0 { p.objective[j] } else { 0.0 };
     }
     // rc_j = c_j − c_B B^-1 A_j: subtract basic costs via current rows.
     for i in 0..m {
@@ -319,16 +454,19 @@ pub(crate) fn solve_standard(p: &Problem) -> Outcome {
             0.0
         };
         if cb != 0.0 {
-            for j in 0..n_cols {
-                t.rc[j] -= cb * t.a[i][j];
+            let row = &t.a[i * n_cols..i * n_cols + t.active];
+            for (rc, &v) in t.rc[..t.active].iter_mut().zip(row) {
+                *rc -= cb * v;
             }
         }
     }
     // Basic columns must have zero reduced cost (clean up numerics).
     for i in 0..m {
-        t.rc[t.basis[i]] = 0.0;
+        if t.basis[i] < t.active {
+            t.rc[t.basis[i]] = 0.0;
+        }
     }
-    if !t.optimize() {
+    if !t.optimize(rule) {
         return Outcome::Unbounded;
     }
 
@@ -509,5 +647,33 @@ mod tests {
         p.set_upper_bound(1, 3.5);
         let s = opt(&p);
         assert!(p.is_feasible(&s.x, 1e-6));
+    }
+
+    #[test]
+    fn bland_rule_from_start_agrees() {
+        // The same optimum must fall out under the pure anti-cycling rule.
+        let mut p = Problem::minimize(3);
+        p.set_objective(0, -0.75);
+        p.set_objective(1, 150.0);
+        p.set_objective(2, -0.02);
+        p.add_le(&[(0, 0.25), (1, -60.0), (2, -0.04)], 0.0);
+        p.add_le(&[(0, 0.5), (1, -90.0), (2, -0.02)], 0.0);
+        p.add_le(&[(2, 1.0)], 1.0);
+        let d = p.solve().expect_optimal("dantzig");
+        let b = p
+            .solve_with(Engine::FlatWith(PivotRule::Bland))
+            .expect_optimal("bland");
+        assert!((d.objective - b.objective).abs() < 1e-7);
+    }
+
+    #[test]
+    fn engine_reference_reachable_through_problem() {
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, 1.0);
+        p.add_ge(&[(0, 1.0), (1, 1.0)], 2.0);
+        p.set_upper_bound(1, 1.0);
+        let flat = p.solve().expect_optimal("flat");
+        let refr = p.solve_with(Engine::Reference).expect_optimal("reference");
+        assert!((flat.objective - refr.objective).abs() < 1e-9);
     }
 }

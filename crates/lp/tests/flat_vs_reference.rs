@@ -1,0 +1,219 @@
+//! Differential tests: the flat-tableau solver must reproduce the
+//! frozen pre-rewrite solver's outcomes — same feasibility verdicts,
+//! objectives equal within `TOL`-scale slack — on the edge-case corpus
+//! and on randomized LPs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtt_lp::{Cmp, Engine, Outcome, PivotRule, Problem, TOL};
+
+/// Objectives may differ only by tolerance-scale noise; verdicts must
+/// agree exactly.
+fn assert_engines_agree(p: &Problem, label: &str) {
+    let flat = p.solve();
+    let reference = p.solve_with(Engine::Reference);
+    match (&flat, &reference) {
+        (Outcome::Optimal(f), Outcome::Optimal(r)) => {
+            assert!(
+                (f.objective - r.objective).abs() <= 1e-6 * (1.0 + r.objective.abs()),
+                "{label}: flat objective {} vs reference {}",
+                f.objective,
+                r.objective
+            );
+            assert!(p.is_feasible(&f.x, 1e-5), "{label}: flat optimum infeasible");
+        }
+        (Outcome::Infeasible, Outcome::Infeasible) => {}
+        (Outcome::Unbounded, Outcome::Unbounded) => {}
+        (f, r) => panic!("{label}: flat says {f:?}, reference says {r:?}"),
+    }
+    // The Bland-from-the-start rule must land on the same objective too.
+    if let (Outcome::Optimal(f), Outcome::Optimal(b)) = (
+        &flat,
+        &p.solve_with(Engine::FlatWith(PivotRule::Bland)),
+    ) {
+        assert!(
+            (f.objective - b.objective).abs() <= 1e-6 * (1.0 + f.objective.abs()),
+            "{label}: Dantzig {} vs Bland {}",
+            f.objective,
+            b.objective
+        );
+    }
+}
+
+/// The `edge_cases.rs` corpus, rebuilt problem-by-problem.
+fn edge_case_corpus() -> Vec<(&'static str, Problem)> {
+    let mut corpus = Vec::new();
+
+    corpus.push(("empty_problem", Problem::minimize(3)));
+
+    let mut p = Problem::minimize(1);
+    p.set_objective(0, 1.0);
+    for _ in 0..3 {
+        p.add_ge(&[(0, 1.0)], 2.0);
+    }
+    corpus.push(("redundant_constraints", p));
+
+    let mut p = Problem::minimize(1);
+    p.set_objective(0, 1.0);
+    p.add_row(&[(0, 1.0), (0, 1.0)], Cmp::Ge, 4.0);
+    corpus.push(("repeated_coefficients", p));
+
+    let mut p = Problem::minimize(3);
+    p.set_objective(0, -0.75);
+    p.set_objective(1, 150.0);
+    p.set_objective(2, -0.02);
+    p.add_le(&[(0, 0.25), (1, -60.0), (2, -0.04)], 0.0);
+    p.add_le(&[(0, 0.5), (1, -90.0), (2, -0.02)], 0.0);
+    p.add_le(&[(2, 1.0)], 1.0);
+    corpus.push(("degenerate_beale", p));
+
+    let mut p = Problem::minimize(1);
+    p.set_objective(0, -1.0);
+    p.set_upper_bound(0, 7.5);
+    corpus.push(("upper_bound_cap", p));
+
+    let mut p = Problem::minimize(2);
+    p.set_objective(0, -1.0);
+    p.add_ge(&[(1, 1.0)], 1.0);
+    corpus.push(("unbounded", p));
+
+    let mut p = Problem::minimize(2);
+    p.add_eq(&[(0, 1.0), (1, 1.0)], 1.0);
+    p.add_eq(&[(0, 1.0), (1, 1.0)], 2.0);
+    corpus.push(("infeasible_equalities", p));
+
+    let mut p = Problem::minimize(1);
+    p.set_upper_bound(0, 1.0);
+    p.add_ge(&[(0, 1.0)], 2.0);
+    corpus.push(("infeasible_bounds", p));
+
+    let mut p = Problem::minimize(1);
+    p.set_objective(0, 1.0);
+    p.add_ge(&[(0, 1.0)], -5.0);
+    corpus.push(("vacuous_negative_rhs", p));
+
+    let mut p = Problem::minimize(1);
+    p.add_le(&[(0, 1.0)], -1.0);
+    corpus.push(("negative_rhs_infeasible", p));
+
+    let mut p = Problem::minimize(2);
+    p.set_objective(0, 1.0);
+    p.add_ge(&[(0, 1.0), (1, 0.0)], 3.0);
+    corpus.push(("zero_coefficient_row", p));
+
+    let mut p = Problem::minimize(2);
+    p.set_objective(0, 1.0);
+    p.set_objective(1, 1.0);
+    p.add_ge(&[(0, 1.0), (1, 1.0)], 2.0);
+    corpus.push(("multiple_optima", p));
+
+    let mut p = Problem::minimize(2);
+    p.add_eq(&[(0, 1.0), (1, 1.0)], 10.0);
+    p.add_row(&[(0, 1.0), (1, -1.0)], Cmp::Ge, 4.0);
+    p.add_row(&[(0, 1.0), (1, -1.0)], Cmp::Le, 4.0);
+    corpus.push(("equality_system", p));
+
+    let n = 4;
+    let mut p = Problem::minimize(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            p.set_objective(i * n + j, ((i * 7 + j * 3) % 5 + 1) as f64);
+        }
+    }
+    for i in 0..n {
+        let row: Vec<(usize, f64)> = (0..n).map(|j| (i * n + j, 1.0)).collect();
+        p.add_eq(&row, 1.0);
+        let col: Vec<(usize, f64)> = (0..n).map(|j| (j * n + i, 1.0)).collect();
+        p.add_eq(&col, 1.0);
+    }
+    corpus.push(("assignment_4x4", p));
+
+    // Mixed magnitudes like the ∞-clamped LPs the pipeline builds
+    // (LP_BIG = 1e12 precedence rows next to unit conservation rows):
+    // the sparse pivot path must not drop the small genuine entries.
+    let big = 1e12;
+    let mut p = Problem::minimize(4);
+    p.set_objective(3, 1.0);
+    p.add_eq(&[(0, 1.0), (1, -1.0)], 0.0);
+    p.add_ge(&[(3, 1.0), (0, big / 2.0)], big);
+    p.add_ge(&[(3, 1.0), (1, 3.0), (2, 1.0)], 3.0);
+    p.add_le(&[(0, 1.0), (2, 1.0)], 1.0);
+    for j in 0..3 {
+        p.set_upper_bound(j, 2.0);
+    }
+    corpus.push(("mixed_scale_lp_big", p));
+
+    corpus
+}
+
+#[test]
+fn flat_handles_lp_big_scale_exactly_like_reference() {
+    // Dedicated relative check at the 1e12 scale: objectives must agree
+    // to relative 1e-9 even though absolute values are huge.
+    let big = 1e12;
+    let mut p = Problem::minimize(3);
+    p.set_objective(2, 1.0);
+    p.add_ge(&[(2, 1.0), (0, big)], big); // T >= big(1 - f0)
+    p.add_ge(&[(2, 1.0), (1, 7.0)], 5.0);
+    p.add_le(&[(0, 1.0), (1, 1.0)], 1.0);
+    p.set_upper_bound(0, 1.0);
+    p.set_upper_bound(1, 1.0);
+    let f = p.solve().expect_optimal("flat");
+    let r = p.solve_with(Engine::Reference).expect_optimal("reference");
+    assert!(
+        (f.objective - r.objective).abs() <= 1e-9 * (1.0 + r.objective.abs()),
+        "flat {} vs reference {}",
+        f.objective,
+        r.objective
+    );
+}
+
+#[test]
+fn flat_matches_reference_on_edge_case_corpus() {
+    for (label, p) in edge_case_corpus() {
+        assert_engines_agree(&p, label);
+    }
+}
+
+#[test]
+fn flat_matches_reference_on_random_lps() {
+    let mut rng = StdRng::seed_from_u64(0x5117_F1A7);
+    for case in 0..400 {
+        let n = rng.random_range(1..6usize);
+        let mut p = Problem::minimize(n);
+        for j in 0..n {
+            p.set_objective(j, rng.random_range(-4..5i32) as f64);
+            if rng.random_bool(0.4) {
+                p.set_upper_bound(j, rng.random_range(0..8i32) as f64);
+            }
+        }
+        for _ in 0..rng.random_range(0..7usize) {
+            let coeffs: Vec<(usize, f64)> = (0..n)
+                .map(|j| (j, rng.random_range(-3..4i32) as f64))
+                .collect();
+            let cmp = match rng.random_range(0..3u8) {
+                0 => Cmp::Le,
+                1 => Cmp::Eq,
+                _ => Cmp::Ge,
+            };
+            p.add_row(&coeffs, cmp, rng.random_range(-6..10i32) as f64);
+        }
+        assert_engines_agree(&p, &format!("random case {case}"));
+    }
+}
+
+#[test]
+fn pivot_counts_are_reported() {
+    // A fixed LP must report a positive, deterministic pivot count.
+    let mut p = Problem::minimize(2);
+    p.set_objective(0, -3.0);
+    p.set_objective(1, -5.0);
+    p.add_le(&[(0, 1.0)], 4.0);
+    p.add_le(&[(1, 2.0)], 12.0);
+    p.add_le(&[(0, 3.0), (1, 2.0)], 18.0);
+    let a = p.solve().expect_optimal("a");
+    let b = p.solve().expect_optimal("b");
+    assert!(a.pivots > 0);
+    assert_eq!(a.pivots, b.pivots, "solver must be deterministic");
+    let _ = TOL; // corpus tolerance is anchored to the crate constant
+}

@@ -38,6 +38,9 @@ pub fn counter_outcomes(threads: usize, increments: u32) -> BTreeSet<u64> {
     outcomes
 }
 
+/// Visited `(cell value, per-thread state)` configurations.
+type ExploreMemo = std::collections::HashSet<(u64, Vec<(u32, Option<u64>)>)>;
+
 fn encode(x: u64, st: &[ThreadState]) -> (u64, Vec<(u32, Option<u64>)>) {
     (x, st.iter().map(|t| (t.done, t.reg)).collect())
 }
@@ -47,7 +50,7 @@ fn explore(
     st: &[ThreadState],
     k: u32,
     outcomes: &mut BTreeSet<u64>,
-    memo: &mut std::collections::HashSet<(u64, Vec<(u32, Option<u64>)>)>,
+    memo: &mut ExploreMemo,
 ) {
     if !memo.insert(encode(x, st)) {
         return;
@@ -116,7 +119,7 @@ mod tests {
         assert!(outcomes.contains(&4), "serialized value present");
         assert!(*outcomes.iter().next().unwrap() < 4, "lost updates exist");
         // final value can never exceed total increments
-        assert!(outcomes.iter().all(|&v| v <= 4 && v >= 1));
+        assert!(outcomes.iter().all(|&v| (1..=4).contains(&v)));
     }
 
     #[test]

@@ -78,7 +78,7 @@ mod tests {
     #[test]
     fn parallel_k_races_on_every_z_cell() {
         let n = 3u64;
-        let (p, l) = parallel_mm_racy(n);
+        let (p, _l) = parallel_mm_racy(n);
         let races = detect_races(&p);
         assert!(!races.is_empty());
         // every racing location is a Z cell, and every Z cell races

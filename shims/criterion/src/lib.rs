@@ -1,0 +1,205 @@
+//! Minimal stand-in for `criterion` 0.5 (offline build; see
+//! `shims/README.md`).
+//!
+//! Runs each benchmark for a handful of timed iterations (after one
+//! warm-up) and prints the mean wall-clock time per iteration. No
+//! statistics, no HTML reports. Set `CRITERION_SHIM_ITERS` to override
+//! the per-benchmark iteration count.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: default_iters(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one("", id, default_iters(), &mut f);
+        self
+    }
+}
+
+fn default_iters() -> usize {
+    std::env::var("CRITERION_SHIM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count for subsequent benchmarks in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs `f` as the benchmark `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.into().label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs `f(b, input)` as the benchmark `id` within this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.into().label, self.sample_size, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one(group: &str, id: &str, iters: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters,
+        total: Duration::ZERO,
+        timed_iters: 0,
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if b.timed_iters == 0 {
+        println!("bench {label}: no iterations recorded");
+    } else {
+        let mean = b.total / b.timed_iters as u32;
+        println!("bench {label}: {mean:?} mean over {} iters", b.timed_iters);
+    }
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`].
+pub struct Bencher {
+    iters: usize,
+    total: Duration,
+    timed_iters: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.timed_iters += self.iters;
+    }
+}
+
+/// Identifies a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Declares a benchmark group function (upstream-compatible form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_ids_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::new("b", 7), &3u64, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            });
+        });
+        group.finish();
+        assert!(runs >= 2);
+        assert_eq!(BenchmarkId::from_parameter(42).label, "42");
+        assert_eq!(BenchmarkId::new("n", 1).label, "n/1");
+    }
+}

@@ -1,0 +1,63 @@
+//! Minimal stand-in for `crossbeam` 0.8 (offline build; see
+//! `shims/README.md`). Only `utils::CachePadded` is provided.
+
+#![forbid(unsafe_code)]
+
+pub mod utils {
+    //! Utility types.
+
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to 128 bytes so adjacent instances never
+    /// share a cache line (matches upstream's alignment on x86_64 and
+    /// aarch64, which both prefetch line pairs).
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wraps `value`.
+        pub fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        /// Unwraps the value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            CachePadded::new(value)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::utils::CachePadded;
+
+    #[test]
+    fn padded_roundtrip_and_alignment() {
+        let p = CachePadded::new(41u64);
+        assert_eq!(*p, 41);
+        assert_eq!(CachePadded::into_inner(p), 41);
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+    }
+}

@@ -7,6 +7,7 @@ use resource_time_tradeoff::hardness::{
     matching3d, partition, sat_chain, sat_general, sat_splitting, Formula,
 };
 use rand::rngs::StdRng;
+use rand::Rng;
 use rand::SeedableRng;
 
 #[test]
@@ -136,7 +137,6 @@ fn partition_reduction_is_weakly_hard_shape() {
     // the gadget's makespan equals max(side sums); solving it solves
     // Partition — across a batch of random instances.
     let mut rng = StdRng::seed_from_u64(88);
-    use rand::RngExt;
     for _ in 0..6 {
         let items: Vec<u64> = (0..4).map(|_| rng.random_range(1..6u64)).collect();
         let p = partition::PartitionInstance::new(items.clone());
@@ -153,7 +153,6 @@ fn partition_reduction_is_weakly_hard_shape() {
 #[test]
 fn matching3d_agrees_on_random_instances() {
     let mut rng = StdRng::seed_from_u64(99);
-    use rand::RngExt;
     for _ in 0..4 {
         // build instances that at least divide evenly: draw triples
         // first, then shuffle columns

@@ -11,7 +11,7 @@ use resource_time_tradeoff::core::{
 use resource_time_tradeoff::dag::gen;
 use resource_time_tradeoff::duration::Duration;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 fn random_small_instances(seed: u64, family: fn(u64) -> Duration) -> Vec<Instance> {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -68,6 +68,44 @@ proptest! {
             "DP vs brute force at B={}", budget);
     }
 
+    /// The monotone two-pointer parallel merge must produce tables
+    /// identical to the naive O(B²) scan on random SP trees — the whole
+    /// tradeoff curve, every budget, every node shape.
+    #[test]
+    fn monotone_dp_tables_match_naive_on_random_sp(seed in 0u64..400, budget in 0u64..24) {
+        use resource_time_tradeoff::core::sp_dp::{solve_sp_tree, solve_sp_tree_naive};
+        use resource_time_tradeoff::dag::sp::decompose;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let leaves = 2 + (seed as usize % 9);
+        let gsp = gen::random_sp(&mut rng, leaves);
+        let mut g: Dag<(), Activity> = Dag::new();
+        for _ in gsp.tt.dag.node_ids() {
+            g.add_node(());
+        }
+        for e in gsp.tt.dag.edge_refs() {
+            let base = 2 + (seed + e.id.index() as u64 * 11) % 20;
+            let gap = 1 + (seed + e.id.index() as u64 * 5) % 6;
+            let rest = base.saturating_sub(1 + (seed % 4));
+            g.add_edge(e.src, e.dst, Activity::new(Duration::two_point(base, gap, rest)))
+                .unwrap();
+        }
+        let arc = ArcInstance::new(g).unwrap();
+        let d = arc.dag();
+        let tree = decompose(d, arc.source(), arc.sink()).expect("generated SP");
+        let (fast, fast_alloc) = solve_sp_tree(&tree, |e| d.edge(e).duration.clone(), budget);
+        let (naive, _) = solve_sp_tree_naive(&tree, |e| d.edge(e).duration.clone(), budget);
+        prop_assert_eq!(&fast, &naive, "root tables diverge at B={}", budget);
+        // the fast path's recovered allocation must stay within budget
+        // at every leaf (the min-flow in solve_sp_exact certifies the
+        // routed total)
+        for &(_, r) in &fast_alloc {
+            prop_assert!(r <= budget);
+        }
+        let (sp, sol) = solve_sp_exact(&arc, budget).expect("still SP");
+        prop_assert_eq!(sp.makespan, fast[budget as usize]);
+        validate(&arc, &sol).unwrap();
+    }
+
     #[test]
     fn two_tuple_expansion_preserves_base_and_ideal(seed in 0u64..200) {
         let mut rng = StdRng::seed_from_u64(seed);
