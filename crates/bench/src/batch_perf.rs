@@ -1,0 +1,449 @@
+//! The PR-2 batch-engine baseline: machine-readable evidence for the
+//! `rtt_engine` serving layer.
+//!
+//! `repro bench-pr2 [--out PATH] [--smoke]` measures, **in the same
+//! binary**:
+//!
+//! * batch throughput (requests/sec) of [`rtt_engine::run_batch`] over
+//!   a ≥ 200-request corpus at 1/2/4/8 worker threads, with a byte
+//!   -stability check: the rendered NDJSON report stream must be
+//!   identical at every thread count;
+//! * the preprocessing cache: instance-level hit rate and artifact
+//!   (two-tuple expansion / SP decomposition / topo order) reuse rate,
+//!   plus a *sharing-disabled* control run — the same corpus with one
+//!   private [`PreparedInstance`] per request — so the cache's benefit
+//!   is measured against a baseline in the same binary, per the
+//!   ROADMAP perf protocol;
+//! * single-request latency parity: the Theorem 3.4 pipeline through
+//!   the engine ([`rtt_engine::execute_one`]) vs the direct PR-1 free
+//!   function (`rtt_core::solve_bicriteria`), medians over the same
+//!   instance.
+//!
+//! The host's core count is recorded: thread scaling is only
+//! meaningful when `cores > 1`, and single-core containers (like the
+//! one PR 2 was authored in) will legitimately show ~1× thread
+//! speedups while the determinism and cache numbers stand.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtt_core::instance::ArcInstance;
+use rtt_dag::gen;
+use rtt_duration::Duration;
+use rtt_engine::{
+    execute_one, run_batch, CacheStats, PrepCache, PreparedInstance, Registry, SolveRequest,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One thread-count measurement.
+#[derive(Debug, Clone)]
+pub struct ThreadPoint {
+    /// Worker threads.
+    pub threads: usize,
+    /// Wall time of the whole batch (ms).
+    pub wall_ms: f64,
+    /// Requests per second.
+    pub req_per_sec: f64,
+    /// Speedup vs the 1-thread run of the same sweep.
+    pub speedup_vs_1t: f64,
+}
+
+/// Latency-parity measurement (medians, ms).
+#[derive(Debug, Clone)]
+pub struct ParityPoint {
+    /// Theorem 3.4 pipeline through the engine adapter.
+    pub engine_ms: f64,
+    /// Same pipeline via the PR-1 free function.
+    pub direct_ms: f64,
+    /// `engine_ms / direct_ms` (1.0 = no adapter overhead).
+    pub ratio: f64,
+}
+
+/// Resident engine vs one-process-per-query (the PR-1 serving model:
+/// the binary could only solve one instance per invocation).
+#[derive(Debug, Clone)]
+pub struct OneShotPoint {
+    /// Requests in the comparison.
+    pub requests: usize,
+    /// Total wall of spawning `rtt solve` once per request (ms).
+    pub process_ms: f64,
+    /// Total wall of the same requests through the resident batch
+    /// engine, 1 thread (ms).
+    pub engine_ms: f64,
+    /// `process_ms / engine_ms`.
+    pub speedup: f64,
+}
+
+/// The full PR-2 measurement set.
+#[derive(Debug, Clone)]
+pub struct BatchPerfReport {
+    /// Host cores (`std::thread::available_parallelism`).
+    pub cores: usize,
+    /// Distinct instances in the corpus.
+    pub instances: usize,
+    /// Requests per batch run.
+    pub requests: usize,
+    /// Reports per batch run (requests × supporting solvers).
+    pub reports: usize,
+    /// Thread sweep, ascending thread count.
+    pub threads: Vec<ThreadPoint>,
+    /// Whether every thread count produced byte-identical NDJSON.
+    pub deterministic: bool,
+    /// Prep-cache statistics of the shared 1-thread run.
+    pub cache: CacheStats,
+    /// Wall time with prep sharing disabled (one private
+    /// `PreparedInstance` per request), 1 thread (ms).
+    pub nocache_wall_ms: f64,
+    /// `nocache_wall_ms / threads[1t].wall_ms` — what sharing buys.
+    pub cache_speedup: f64,
+    /// Engine-vs-direct single-solve latency.
+    pub parity: ParityPoint,
+    /// Resident engine vs process-per-query (`None` when the `rtt`
+    /// binary is not next to `repro`).
+    pub one_shot: Option<OneShotPoint>,
+}
+
+/// Deterministic corpus instance `i` (same generator family as the
+/// CLI's `rtt gen`).
+fn corpus_instance(i: usize) -> ArcInstance {
+    let seed = i as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nodes = 5 + i % 5;
+    let tt = match i % 4 {
+        0 => gen::random_sp(&mut rng, nodes).tt,
+        1 => gen::layered(&mut rng, 3, nodes.div_ceil(3).max(1), 0.4),
+        2 => gen::chain(nodes),
+        _ => gen::random_race_dag(&mut rng, nodes, nodes),
+    };
+    let fam: fn(u64) -> Duration = if i.is_multiple_of(2) {
+        Duration::recursive_binary
+    } else {
+        Duration::kway
+    };
+    let inst = rtt_core::Instance::race_dag(&tt.dag, fam).expect("generated DAG is valid");
+    rtt_core::to_arc_form(&inst).0
+}
+
+/// Builds the corpus: `n_instances` distinct instances, two budgets
+/// each, every supporting solver per request. `shared = false` gives
+/// every request a private `PreparedInstance` (the no-cache control).
+fn build_corpus(
+    n_instances: usize,
+    shared: bool,
+) -> (PrepCache, Vec<SolveRequest>) {
+    let cache = PrepCache::new();
+    let mut requests = Vec::with_capacity(2 * n_instances);
+    for i in 0..n_instances {
+        for (j, budget) in [4u64, 12].into_iter().enumerate() {
+            let prepared = if shared {
+                cache.get_or_insert(&format!("inst-{i}"), || corpus_instance(i))
+            } else {
+                Arc::new(PreparedInstance::new(corpus_instance(i)))
+            };
+            requests.push(SolveRequest::min_makespan(
+                format!("i{i}b{j}"),
+                prepared,
+                budget,
+            ));
+        }
+    }
+    (cache, requests)
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Runs every measurement. Sizes shrink under `smoke` (CI).
+pub fn measure(trials: usize, smoke: bool) -> BatchPerfReport {
+    let registry = Registry::standard();
+    let n_instances = if smoke { 12 } else { 120 };
+    let thread_counts = [1usize, 2, 4, 8];
+
+    // --- thread sweep; each run rebuilds its cache so every thread
+    // count performs identical total work (prep included)
+    let mut points: Vec<ThreadPoint> = Vec::new();
+    let mut rendered_streams: Vec<String> = Vec::new();
+    let mut requests_n = 0;
+    let mut reports_n = 0;
+    let mut cache_stats = CacheStats::default();
+    for &threads in &thread_counts {
+        let mut walls = Vec::new();
+        let mut rendered = String::new();
+        for trial in 0..trials.max(1) {
+            let (cache, requests) = build_corpus(n_instances, true);
+            requests_n = requests.len();
+            let started = Instant::now();
+            let out = run_batch(&registry, requests, threads);
+            walls.push(started.elapsed().as_secs_f64() * 1e3);
+            reports_n = out.reports.len();
+            if trial == 0 {
+                rendered = out
+                    .reports
+                    .iter()
+                    .map(rtt_cli::report_line)
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                if threads == 1 {
+                    cache_stats = cache.stats();
+                }
+            }
+        }
+        let wall_ms = median(&mut walls);
+        points.push(ThreadPoint {
+            threads,
+            wall_ms,
+            req_per_sec: requests_n as f64 / (wall_ms / 1e3).max(1e-9),
+            speedup_vs_1t: 0.0, // filled below
+        });
+        rendered_streams.push(rendered);
+    }
+    let one_t = points[0].wall_ms;
+    for p in &mut points {
+        p.speedup_vs_1t = one_t / p.wall_ms.max(1e-9);
+    }
+    let deterministic = rendered_streams.iter().all(|s| *s == rendered_streams[0]);
+
+    // --- prep-sharing control: same corpus, private prep per request
+    let mut walls = Vec::new();
+    for _ in 0..trials.max(1) {
+        let (_cache, requests) = build_corpus(n_instances, false);
+        let started = Instant::now();
+        let out = run_batch(&registry, requests, 1);
+        walls.push(started.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(out.reports.len(), reports_n, "control must do the same work");
+    }
+    let nocache_wall_ms = median(&mut walls);
+
+    // --- single-solve latency parity (engine adapter vs PR-1 path)
+    let arc = corpus_instance(3); // layered kway instance, mid-size
+    let budget = 8u64;
+    let parity_trials = if smoke { 5 } else { 31 };
+    let mut engine_samples = Vec::new();
+    let mut direct_samples = Vec::new();
+    for _ in 0..parity_trials {
+        let prepared = Arc::new(PreparedInstance::new(arc.clone()));
+        let req =
+            SolveRequest::min_makespan("parity", prepared, budget).with_solver("bicriteria");
+        let started = Instant::now();
+        let reports = execute_one(&registry, &req, Instant::now());
+        engine_samples.push(started.elapsed().as_secs_f64() * 1e3);
+        assert!(reports[0].makespan.is_some());
+
+        let started = Instant::now();
+        let direct = rtt_core::solve_bicriteria(&arc, budget, 0.5).expect("solves");
+        direct_samples.push(started.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(direct);
+    }
+    let engine_ms = median(&mut engine_samples);
+    let direct_ms = median(&mut direct_samples);
+
+    let one_shot = measure_one_shot(&registry, if smoke { 6 } else { 20 });
+
+    BatchPerfReport {
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        instances: n_instances,
+        requests: requests_n,
+        reports: reports_n,
+        threads: points,
+        deterministic,
+        cache: cache_stats,
+        nocache_wall_ms,
+        cache_speedup: nocache_wall_ms / one_t.max(1e-9),
+        parity: ParityPoint {
+            engine_ms,
+            direct_ms,
+            ratio: engine_ms / direct_ms.max(1e-9),
+        },
+        one_shot,
+    }
+}
+
+/// Times `n_instances` bicriteria solves as one-process-per-query
+/// (spawning the sibling `rtt` binary, the only serving model PR 1
+/// had) against the same requests through the resident engine. `None`
+/// when the binary is missing (e.g. `repro` run from an exotic
+/// location).
+fn measure_one_shot(registry: &Registry, n_instances: usize) -> Option<OneShotPoint> {
+    let rtt = std::env::current_exe().ok()?.with_file_name("rtt");
+    if !rtt.exists() {
+        return None;
+    }
+    let dir = std::env::temp_dir().join(format!("rtt-bench-pr2-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).ok()?;
+    let budget = 8u64;
+
+    let mut paths = Vec::new();
+    for i in 0..n_instances {
+        let arc = corpus_instance(i);
+        let path = dir.join(format!("i{i}.json"));
+        std::fs::write(
+            &path,
+            rtt_cli::InstanceSpec::from_arc(&arc).to_json_string(),
+        )
+        .ok()?;
+        paths.push(path);
+    }
+
+    let started = Instant::now();
+    for path in &paths {
+        let out = std::process::Command::new(&rtt)
+            .args(["solve", path.to_str()?, "--budget", &budget.to_string()])
+            .output()
+            .ok()?;
+        if !out.status.success() {
+            return None;
+        }
+    }
+    let process_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let cache = PrepCache::new();
+    let requests: Vec<SolveRequest> = (0..n_instances)
+        .map(|i| {
+            let prepared = cache.get_or_insert(&format!("inst-{i}"), || corpus_instance(i));
+            SolveRequest::min_makespan(format!("os{i}"), prepared, budget)
+                .with_solver("bicriteria")
+        })
+        .collect();
+    let started = Instant::now();
+    let out = run_batch(registry, requests, 1);
+    let engine_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(out.reports.len(), n_instances);
+
+    std::fs::remove_dir_all(&dir).ok();
+    Some(OneShotPoint {
+        requests: n_instances,
+        process_ms,
+        engine_ms,
+        speedup: process_ms / engine_ms.max(1e-9),
+    })
+}
+
+impl BatchPerfReport {
+    /// Renders the machine-readable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"rtt-bench/batch-v1\",\n");
+        out.push_str("  \"pr\": 2,\n");
+        out.push_str(&format!("  \"cores\": {},\n", self.cores));
+        out.push_str(
+            "  \"note\": \"thread scaling is bounded by cores; determinism, cache, and parity are measured in the same binary (crates/bench/src/batch_perf.rs)\",\n",
+        );
+        out.push_str("  \"corpus\": {");
+        out.push_str(&format!(
+            "\"instances\": {}, \"requests\": {}, \"reports\": {}",
+            self.instances, self.requests, self.reports
+        ));
+        out.push_str("},\n");
+        out.push_str("  \"threads\": [\n");
+        for (i, p) in self.threads.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"threads\": {}, \"wall_ms\": {:.3}, \"req_per_sec\": {:.1}, \"speedup_vs_1t\": {:.2}}}{}\n",
+                p.threads,
+                p.wall_ms,
+                p.req_per_sec,
+                p.speedup_vs_1t,
+                if i + 1 == self.threads.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"deterministic_across_threads\": {},\n",
+            self.deterministic
+        ));
+        out.push_str(&format!(
+            "  \"prep_cache\": {{\"instance_hits\": {}, \"instance_misses\": {}, \"instance_hit_rate\": {:.3}, \"artifact_reuses\": {}, \"artifact_computes\": {}, \"artifact_reuse_rate\": {:.3}}},\n",
+            self.cache.instance_hits,
+            self.cache.instance_misses,
+            self.cache.instance_hit_rate(),
+            self.cache.artifact_reuses,
+            self.cache.artifact_computes,
+            self.cache.artifact_reuse_rate(),
+        ));
+        out.push_str(&format!(
+            "  \"prep_sharing\": {{\"shared_1t_ms\": {:.3}, \"private_1t_ms\": {:.3}, \"speedup\": {:.2}}},\n",
+            self.threads[0].wall_ms, self.nocache_wall_ms, self.cache_speedup
+        ));
+        out.push_str(&format!(
+            "  \"single_solve_parity\": {{\"engine_ms\": {:.4}, \"direct_ms\": {:.4}, \"ratio\": {:.2}}},\n",
+            self.parity.engine_ms, self.parity.direct_ms, self.parity.ratio
+        ));
+        match &self.one_shot {
+            Some(p) => out.push_str(&format!(
+                "  \"resident_vs_process_per_query\": {{\"requests\": {}, \"process_ms\": {:.1}, \"engine_ms\": {:.1}, \"speedup\": {:.1}}}\n",
+                p.requests, p.process_ms, p.engine_ms, p.speedup
+            )),
+            None => out
+                .push_str("  \"resident_vs_process_per_query\": null\n"),
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders a human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut t = crate::table::TextTable::new(&[
+            "threads",
+            "wall ms",
+            "req/s",
+            "speedup vs 1t",
+        ]);
+        for p in &self.threads {
+            t.row(vec![
+                p.threads.to_string(),
+                format!("{:.1}", p.wall_ms),
+                format!("{:.0}", p.req_per_sec),
+                format!("{:.2}x", p.speedup_vs_1t),
+            ]);
+        }
+        format!(
+            "==== bench-pr2 (cores = {}, corpus = {} requests -> {} reports) ====\n{}\
+             deterministic across threads: {}\n\
+             prep cache: {:.0}% instance hits, {:.0}% artifact reuses; sharing speedup {:.2}x (vs {:.1} ms private)\n\
+             single-solve parity: engine {:.3} ms vs direct {:.3} ms ({:.2}x)\n",
+            self.cores,
+            self.requests,
+            self.reports,
+            t.render(),
+            self.deterministic,
+            self.cache.instance_hit_rate() * 100.0,
+            self.cache.artifact_reuse_rate() * 100.0,
+            self.cache_speedup,
+            self.nocache_wall_ms,
+            self.parity.engine_ms,
+            self.parity.direct_ms,
+            self.parity.ratio,
+        ) + &match &self.one_shot {
+            Some(p) => format!(
+                "resident engine vs process-per-query: {:.1} ms vs {:.1} ms over {} requests ({:.1}x)\n",
+                p.engine_ms, p.process_ms, p.requests, p.speedup
+            ),
+            None => "resident engine vs process-per-query: skipped (rtt binary not found)\n".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_measurement_is_consistent_and_serializes() {
+        let r = measure(1, true);
+        assert!(r.requests >= 24);
+        assert_eq!(r.threads.len(), 4);
+        assert!(r.deterministic, "batch output must not depend on threads");
+        assert!(
+            r.cache.instance_hit_rate() > 0.0,
+            "two budgets per instance must hit the cache: {:?}",
+            r.cache
+        );
+        assert!(r.cache.artifact_reuses > 0);
+        let json = r.to_json();
+        assert!(json.contains("\"deterministic_across_threads\": true"));
+        assert!(json.contains("\"prep_cache\""));
+        assert!(json.ends_with("}\n"));
+        assert!(r.render().contains("bench-pr2"));
+    }
+}

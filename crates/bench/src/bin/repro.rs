@@ -7,13 +7,15 @@
 //! repro fig1 fig2 fig3 fig45 fig67 fig89 fig1011 fig1214 fig1516 fig1718
 //! repro spdp lp        # §3.4 DP scaling, §3.1 LP quality
 //! repro bench-pr1 [--out PATH] [--smoke]   # perf baseline → BENCH_pr1.json
+//! repro bench-pr2 [--out PATH] [--smoke]   # batch engine baseline → BENCH_pr2.json
 //! ```
 
 use rtt_bench::experiments as exp;
 
-/// Runs the perf baseline and writes the JSON document.
-fn run_bench_pr1(args: &[String], trials: usize) {
-    let mut out_path = "BENCH_pr1.json".to_string();
+/// Parses the shared `[--out PATH] [--smoke]` flags of the bench-pr*
+/// subcommands.
+fn bench_flags(name: &str, default_out: &str, args: &[String]) -> (String, bool) {
+    let mut out_path = default_out.to_string();
     let mut smoke = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -27,26 +29,42 @@ fn run_bench_pr1(args: &[String], trials: usize) {
             },
             "--smoke" => smoke = true,
             other => {
-                eprintln!("unknown bench-pr1 flag: {other}");
+                eprintln!("unknown {name} flag: {other}");
                 std::process::exit(2);
             }
         }
     }
-    let report = rtt_bench::perf::measure(trials, smoke);
-    println!("{}", report.render());
-    let json = report.to_json();
-    if let Err(e) = std::fs::write(&out_path, &json) {
+    (out_path, smoke)
+}
+
+fn write_bench(out_path: &str, rendered: &str, json: &str) {
+    println!("{rendered}");
+    if let Err(e) = std::fs::write(out_path, json) {
         eprintln!("writing {out_path}: {e}");
         std::process::exit(1);
     }
     println!("wrote {out_path}");
 }
 
+/// Runs the PR-1 perf baseline and writes the JSON document.
+fn run_bench_pr1(args: &[String], trials: usize) {
+    let (out_path, smoke) = bench_flags("bench-pr1", "BENCH_pr1.json", args);
+    let report = rtt_bench::perf::measure(trials, smoke);
+    write_bench(&out_path, &report.render(), &report.to_json());
+}
+
+/// Runs the PR-2 batch-engine baseline and writes the JSON document.
+fn run_bench_pr2(args: &[String], trials: usize) {
+    let (out_path, smoke) = bench_flags("bench-pr2", "BENCH_pr2.json", args);
+    let report = rtt_bench::batch_perf::measure(trials, smoke);
+    write_bench(&out_path, &report.render(), &report.to_json());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro [all|table1|table2|table3|fig1|fig2|fig3|fig45|fig67|fig89|fig1011|fig1214|fig1516|fig1718|spdp|lp|regimes|alpha|bench-pr1] ..."
+            "usage: repro [all|table1|table2|table3|fig1|fig2|fig3|fig45|fig67|fig89|fig1011|fig1214|fig1516|fig1718|spdp|lp|regimes|alpha|bench-pr1|bench-pr2] ..."
         );
         std::process::exit(2);
     }
@@ -54,14 +72,18 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(4usize);
-    // bench-pr1 is a standalone subcommand (it takes its own flags), not
-    // a combinable experiment name.
+    // bench-pr* are standalone subcommands (they take their own flags),
+    // not combinable experiment names.
     if args[0] == "bench-pr1" {
         run_bench_pr1(&args[1..], trials);
         return;
     }
-    if args.iter().any(|a| a == "bench-pr1") {
-        eprintln!("bench-pr1 must be the first argument (it takes its own flags)");
+    if args[0] == "bench-pr2" {
+        run_bench_pr2(&args[1..], trials);
+        return;
+    }
+    if args.iter().any(|a| a == "bench-pr1" || a == "bench-pr2") {
+        eprintln!("bench-pr1/bench-pr2 must be the first argument (they take their own flags)");
         std::process::exit(2);
     }
     for arg in &args {

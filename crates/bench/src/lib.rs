@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch_perf;
 pub mod experiments;
 pub mod perf;
 pub mod table;

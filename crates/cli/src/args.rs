@@ -1,0 +1,167 @@
+//! Argument parsing for the `rtt` binary.
+//!
+//! The grammar is deliberately tiny: positionals, `--name value` flags,
+//! and `--name` switches. The rules, spelled out because they used to
+//! be implicit:
+//!
+//! * a `--name` followed by a token that does not start with `--` is a
+//!   **flag** and consumes that token as its value (so `--budget -5`
+//!   parses, and the *value parser* rejects the negative number with a
+//!   clear message);
+//! * a `--name` at the end of argv, or directly followed by another
+//!   `--…` token, is a **switch**;
+//! * a repeated flag keeps its **last** value; asking a switch for a
+//!   value (or a flag for switch-ness) is reported as an error rather
+//!   than silently mis-parsed.
+
+use std::collections::{HashMap, HashSet};
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// Non-flag tokens, in order (the first is the subcommand).
+    pub positional: Vec<String>,
+    /// `--name value` pairs; a repeated flag keeps the last value.
+    pub flags: HashMap<String, String>,
+    /// Bare `--name` switches.
+    pub switches: HashSet<String>,
+}
+
+/// Splits raw argv tokens into positionals, flags, and switches.
+pub fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut i = 0;
+    while i < raw.len() {
+        if let Some(name) = raw[i].strip_prefix("--") {
+            if name.is_empty() {
+                return Err("empty flag name `--`".into());
+            }
+            match raw.get(i + 1) {
+                Some(value) if !value.starts_with("--") => {
+                    args.flags.insert(name.to_string(), value.clone());
+                    // a later `--name value` overrides; a switch spelling
+                    // of the same name never downgrades the flag
+                    args.switches.remove(name);
+                    i += 2;
+                }
+                _ => {
+                    if !args.flags.contains_key(name) {
+                        args.switches.insert(name.to_string());
+                    }
+                    i += 1;
+                }
+            }
+        } else {
+            args.positional.push(raw[i].clone());
+            i += 1;
+        }
+    }
+    Ok(args)
+}
+
+impl Args {
+    /// Parses the optional flag `--name` into `T`. Errors if the value
+    /// does not parse, or if `--name` was given *without* a value.
+    pub fn flag<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        if self.switches.contains(name) && !self.flags.contains_key(name) {
+            return Err(format!("flag --{name} needs a value"));
+        }
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value for --{name}: {v}")),
+        }
+    }
+
+    /// Like [`Args::flag`], but the flag is mandatory.
+    pub fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        self.flag(name)?
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Whether the bare switch `--name` was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.contains(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        parse_args(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn positionals_flags_and_switches_separate() {
+        let a = parse(&["solve", "x.json", "--budget", "5", "--plan"]);
+        assert_eq!(a.positional, vec!["solve", "x.json"]);
+        assert_eq!(a.flag::<u64>("budget").unwrap(), Some(5));
+        assert!(a.switch("plan"));
+    }
+
+    #[test]
+    fn switch_before_value_flag() {
+        // `--plan --budget 5`: plan must not swallow `--budget`
+        let a = parse(&["--plan", "--budget", "5"]);
+        assert!(a.switch("plan"));
+        assert_eq!(a.flag::<u64>("budget").unwrap(), Some(5));
+    }
+
+    #[test]
+    fn trailing_value_flag_is_a_switch_and_errors_on_read() {
+        let a = parse(&["solve", "--solver"]);
+        assert!(a.switch("solver"));
+        // reading it as a flag reports the missing value instead of
+        // silently falling back to a default
+        assert_eq!(
+            a.flag::<String>("solver").unwrap_err(),
+            "flag --solver needs a value"
+        );
+        assert_eq!(
+            a.require::<String>("solver").unwrap_err(),
+            "flag --solver needs a value"
+        );
+    }
+
+    #[test]
+    fn repeated_flags_keep_the_last_value() {
+        let a = parse(&["--budget", "3", "--budget", "9"]);
+        assert_eq!(a.flag::<u64>("budget").unwrap(), Some(9));
+        // flag then switch spelling: the value wins deterministically
+        let a = parse(&["--budget", "3", "--budget"]);
+        assert_eq!(a.flag::<u64>("budget").unwrap(), Some(3));
+        // switch then flag spelling: the value wins too
+        let a = parse(&["--budget", "--budget", "3"]);
+        assert_eq!(a.flag::<u64>("budget").unwrap(), Some(3));
+        assert!(!a.switch("budget"));
+    }
+
+    #[test]
+    fn negative_values_are_consumed_then_rejected_by_type() {
+        // `-5` does not start with `--`, so it is the flag's value; the
+        // u64 parse then fails with a pointed message
+        let a = parse(&["--budget", "-5"]);
+        assert_eq!(
+            a.flag::<u64>("budget").unwrap_err(),
+            "invalid value for --budget: -5"
+        );
+        // a type that accepts negatives parses fine
+        assert_eq!(a.flag::<i64>("budget").unwrap(), Some(-5));
+        let a = parse(&["--alpha", "-0.25"]);
+        assert_eq!(a.flag::<f64>("alpha").unwrap(), Some(-0.25));
+    }
+
+    #[test]
+    fn missing_and_empty_names() {
+        let a = parse(&["solve"]);
+        assert_eq!(
+            a.require::<u64>("budget").unwrap_err(),
+            "missing required flag --budget"
+        );
+        assert!(parse_args(&["--".to_string()]).is_err());
+    }
+}

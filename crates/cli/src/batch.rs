@@ -1,0 +1,297 @@
+//! The NDJSON batch wire format: `rtt batch` streams *request* lines in
+//! and *report* lines out, one JSON document per line.
+//!
+//! # Request lines
+//!
+//! ```json
+//! {"id":"q1","instance":{...},"budget":8}
+//! {"id":"q2","instance":{...},"target":10,"solver":"exact","alpha":0.5}
+//! ```
+//!
+//! | field | required | meaning |
+//! |---|---|---|
+//! | `instance` | yes | an instance document (same schema as `rtt solve` files, see [`crate::spec::InstanceSpec`]) |
+//! | `budget` | one of budget/target | min-makespan objective with this resource budget |
+//! | `target` | one of budget/target | min-resource objective with this makespan target |
+//! | `objective` | no | `"min-makespan"` / `"min-resource"`; inferred from `budget`/`target` when omitted |
+//! | `id` | no | echoed in reports; defaults to `line-<n>` (1-based) |
+//! | `solver` | no | registry name or alias; omitted = every supporting solver |
+//! | `alpha` | no | bi-criteria rounding parameter in (0, 1); default 0.5 |
+//! | `deadline_ms` | no | per-request deadline from enqueue, in milliseconds — **excluded from the byte-stability guarantee** (expiry depends on wall-clock and thread count) |
+//! | `seed` | no | echoed into the request (reserved; solvers are deterministic) |
+//!
+//! Blank lines are skipped. Identical `instance` documents are
+//! deduplicated through the engine's preprocessing cache: the two-tuple
+//! expansion, SP decomposition, and topological order are computed once
+//! per distinct instance, however many requests and solvers touch it.
+//!
+//! # Report lines
+//!
+//! One report per (request, selected solver), in request order then
+//! registry order — **deterministic and byte-stable** for a fixed
+//! corpus *without `deadline_ms` fields* regardless of `--threads`,
+//! which is why wall-clock fields are *not* part of the wire format
+//! (timing goes to stderr). Deadlines necessarily reintroduce
+//! wall-clock dependence: a `deadline-expired` status can flip to
+//! `solved` on a faster run, so keep deadlines out of golden corpora.
+//!
+//! ```json
+//! {"id":"q1","solver":"bicriteria","status":"solved","makespan":4,"budget_used":8,"lp_makespan":3.5,"lp_budget":8.0,"makespan_factor":2.0,"resource_factor":2.0,"work":17}
+//! {"id":"q2","solver":"exact","status":"infeasible","detail":"makespan target below the ideal makespan"}
+//! ```
+//!
+//! `status` is one of `solved`, `unsupported`, `infeasible`,
+//! `deadline-expired`; non-`solved` reports carry `detail` instead of
+//! the solution fields. `makespan_factor`/`resource_factor` are the
+//! solver's certified guarantees (absent for heuristics), and `work` is
+//! the solver's own work counter (LP pivots, search nodes, DP cells).
+
+use crate::json::Json;
+use crate::spec::InstanceSpec;
+use rtt_engine::{
+    Objective, PrepCache, Registry, SolveReport, SolveRequest, SolverSelection, Status,
+};
+use std::time::Duration as StdDuration;
+
+/// Parses a whole NDJSON corpus into engine requests, deduplicating
+/// instances through `cache`. `default_solver` applies to lines without
+/// a `solver` field (`None` = all supporting solvers); per-line solver
+/// names are validated against `registry` up front, so a typo fails the
+/// load with its line number instead of surfacing as a per-report
+/// `unsupported` downstream. Errors carry the offending 1-based line
+/// number.
+pub fn build_requests(
+    corpus: &str,
+    cache: &PrepCache,
+    default_solver: Option<&str>,
+    registry: &Registry,
+) -> Result<Vec<SolveRequest>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in corpus.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(
+            parse_request_line(line, lineno, cache, default_solver, registry)
+                .map_err(|e| format!("line {lineno}: {e}"))?,
+        );
+    }
+    Ok(out)
+}
+
+fn parse_request_line(
+    line: &str,
+    lineno: usize,
+    cache: &PrepCache,
+    default_solver: Option<&str>,
+    registry: &Registry,
+) -> Result<SolveRequest, String> {
+    let doc = Json::parse(line).map_err(|e| e.to_string())?;
+    let id = match doc.get("id") {
+        Some(v) => v.as_str().map_err(|e| e.to_string())?.to_string(),
+        None => format!("line-{lineno}"),
+    };
+    let instance = doc.require("instance").map_err(|e| e.to_string())?;
+    let spec = InstanceSpec::from_json(instance).map_err(|e| e.to_string())?;
+    // key by the canonical compact serialization (stored in full — no
+    // hash collisions), not the raw line: formatting differences must
+    // not defeat deduplication
+    let key = spec.to_json().compact();
+    let prepared = match cache.get(&key) {
+        Some(hit) => hit,
+        None => {
+            // build only on first sight: an identical key is an
+            // identical spec, so duplicates can't hide build errors
+            let arc = spec.build().map_err(|e| e.to_string())?;
+            cache.get_or_insert(&key, move || arc)
+        }
+    };
+    let budget = match doc.get("budget") {
+        Some(v) => Some(v.as_u64().map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let target = match doc.get("target") {
+        Some(v) => Some(v.as_u64().map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let objective = match doc.get("objective") {
+        Some(v) => match v.as_str().map_err(|e| e.to_string())? {
+            "min-makespan" => Objective::MinMakespan {
+                budget: budget.ok_or("objective min-makespan needs a `budget`")?,
+            },
+            "min-resource" => Objective::MinResource {
+                target: target.ok_or("objective min-resource needs a `target`")?,
+            },
+            other => return Err(format!("unknown objective {other:?}")),
+        },
+        None => match (budget, target) {
+            (Some(budget), None) => Objective::MinMakespan { budget },
+            (None, Some(target)) => Objective::MinResource { target },
+            (Some(_), Some(_)) => {
+                return Err("give `objective` to disambiguate budget + target".into())
+            }
+            (None, None) => return Err("need `budget` or `target`".into()),
+        },
+    };
+    let alpha = match doc.get("alpha") {
+        Some(v) => v.as_f64().map_err(|e| e.to_string())?,
+        None => 0.5,
+    };
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(format!("alpha must be in (0, 1), got {alpha}"));
+    }
+    let solver = match doc.get("solver") {
+        Some(v) => {
+            let name = v.as_str().map_err(|e| e.to_string())?;
+            if registry.resolve(name).is_none() {
+                return Err(format!(
+                    "unknown solver {name:?}; available: {}",
+                    registry.names().join(", ")
+                ));
+            }
+            SolverSelection::Named(name.to_string())
+        }
+        None => match default_solver {
+            Some(name) => SolverSelection::Named(name.to_string()),
+            None => SolverSelection::All,
+        },
+    };
+    let deadline = match doc.get("deadline_ms") {
+        Some(v) => Some(StdDuration::from_millis(
+            v.as_u64().map_err(|e| e.to_string())?,
+        )),
+        None => None,
+    };
+    let seed = match doc.get("seed") {
+        Some(v) => v.as_u64().map_err(|e| e.to_string())?,
+        None => 0,
+    };
+    Ok(SolveRequest {
+        id,
+        prepared,
+        objective,
+        alpha,
+        solver,
+        deadline,
+        seed,
+    })
+}
+
+/// Renders one report as its canonical NDJSON line (no trailing
+/// newline). Deliberately excludes wall-clock fields — see the module
+/// docs on byte stability.
+pub fn report_line(r: &SolveReport) -> String {
+    let mut fields: Vec<(String, Json)> = vec![
+        ("id".into(), Json::Str(r.id.clone())),
+        ("solver".into(), Json::Str(r.solver.into())),
+        ("status".into(), Json::Str(r.status.as_str().into())),
+    ];
+    if r.status == Status::Solved {
+        if let Some(m) = r.makespan {
+            fields.push(("makespan".into(), Json::UInt(m)));
+        }
+        if let Some(b) = r.budget_used {
+            fields.push(("budget_used".into(), Json::UInt(b)));
+        }
+        if let Some(x) = r.lp_makespan {
+            fields.push(("lp_makespan".into(), Json::Float(x)));
+        }
+        if let Some(x) = r.lp_budget {
+            fields.push(("lp_budget".into(), Json::Float(x)));
+        }
+        if let Some(x) = r.makespan_factor {
+            fields.push(("makespan_factor".into(), Json::Float(x)));
+        }
+        if let Some(x) = r.resource_factor {
+            fields.push(("resource_factor".into(), Json::Float(x)));
+        }
+        fields.push(("work".into(), Json::UInt(r.work)));
+    } else {
+        fields.push(("detail".into(), Json::Str(r.detail.clone())));
+    }
+    Json::Obj(fields).compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtt_engine::{run_batch, Registry};
+
+    fn chain_line(id: &str, budget: u64) -> String {
+        format!(
+            r#"{{"id":"{id}","instance":{{"form":"node","nodes":[{{"label":"s","duration":{{"kind":"zero"}}}},{{"label":"x","duration":{{"kind":"step","tuples":[[0,10],[4,0]]}}}},{{"label":"t","duration":{{"kind":"zero"}}}}],"edges":[{{"src":0,"dst":1}},{{"src":1,"dst":2}}]}},"budget":{budget}}}"#
+        )
+    }
+
+    #[test]
+    fn corpus_parses_and_dedupes_instances() {
+        let corpus = format!("{}\n\n{}\n", chain_line("a", 4), chain_line("b", 2));
+        let cache = PrepCache::new();
+        let reqs = build_requests(&corpus, &cache, None, &Registry::standard()).unwrap();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].id, "a");
+        assert!(matches!(
+            reqs[0].objective,
+            Objective::MinMakespan { budget: 4 }
+        ));
+        // same instance document → one cache entry, one hit
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().instance_hits, 1);
+    }
+
+    #[test]
+    fn bad_lines_name_their_line_number() {
+        let cache = PrepCache::new();
+        let registry = Registry::standard();
+        let err = build_requests("{\"instance\":{}}\n", &cache, None, &registry).unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        let corpus = format!("{}\nnot json\n", chain_line("a", 1));
+        let err = build_requests(&corpus, &cache, None, &registry).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        let no_obj = chain_line("a", 1).replace(",\"budget\":1", "");
+        let err = build_requests(&no_obj, &cache, None, &registry).unwrap_err();
+        assert!(err.contains("need `budget` or `target`"), "{err}");
+        // a typo'd per-line solver fails the load, not the report stream
+        let typo = chain_line("a", 1).replace("\"budget\":1", "\"budget\":1,\"solver\":\"exat\"");
+        let err = build_requests(&typo, &cache, None, &registry).unwrap_err();
+        assert!(err.contains("unknown solver \"exat\""), "{err}");
+    }
+
+    #[test]
+    fn report_lines_are_stable_across_thread_counts() {
+        let corpus = (0..6)
+            .map(|i| chain_line(&format!("q{i}"), i))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let registry = Registry::standard();
+        let render = |threads: usize| {
+            let cache = PrepCache::new();
+            let reqs = build_requests(&corpus, &cache, None, &registry).unwrap();
+            run_batch(&registry, reqs, threads)
+                .reports
+                .iter()
+                .map(report_line)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let one = render(1);
+        assert!(one.contains("\"status\":\"solved\""));
+        assert!(!one.contains("wall"), "timing must stay off the wire");
+        for threads in [2, 4, 8] {
+            assert_eq!(one, render(threads), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn named_default_solver_applies_to_bare_lines() {
+        let cache = PrepCache::new();
+        let reqs =
+            build_requests(&chain_line("a", 3), &cache, Some("bicriteria"), &Registry::standard())
+                .unwrap();
+        assert_eq!(
+            reqs[0].solver,
+            SolverSelection::Named("bicriteria".to_string())
+        );
+    }
+}

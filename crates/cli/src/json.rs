@@ -84,6 +84,44 @@ impl Json {
         out
     }
 
+    /// Renders on one line with no whitespace — the NDJSON form (one
+    /// document per line, byte-stable for a fixed value).
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null | Json::Bool(_) | Json::UInt(_) | Json::Float(_) | Json::Str(_) => {
+                self.write(out, 0)
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -169,6 +207,15 @@ impl Json {
             other => Err(JsonError::shape(format!(
                 "expected unsigned integer, got {other:?}"
             ))),
+        }
+    }
+
+    /// This value as an `f64` (integers widen).
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Json::UInt(u) => Ok(*u as f64),
+            Json::Float(x) => Ok(*x),
+            other => Err(JsonError::shape(format!("expected number, got {other:?}"))),
         }
     }
 
@@ -428,6 +475,16 @@ mod tests {
                 .unwrap(),
             10
         );
+    }
+
+    #[test]
+    fn compact_is_one_line_and_round_trips() {
+        let text = r#"{"form":"node","nodes":[{"label":"s","n":0}],"edges":[[0,10],[4,0]],"ok":true,"none":null,"f":1.5}"#;
+        let v = Json::parse(text).unwrap();
+        let line = v.compact();
+        assert!(!line.contains('\n') && !line.contains(' '), "{line}");
+        assert_eq!(Json::parse(&line).unwrap(), v);
+        assert_eq!(line, text, "compact matches canonical NDJSON spelling");
     }
 
     #[test]

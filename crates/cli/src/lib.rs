@@ -7,17 +7,28 @@
 //! rtt info instance.json
 //! rtt solve instance.json --budget 8 --solver exact --plan
 //! rtt min-resource instance.json --target 10
+//! rtt batch corpus.ndjson --threads 4 --solver all > reports.ndjson
 //! rtt regimes instance.json --budget 8
 //! rtt dot instance.json | dot -Tpng > instance.png
 //! ```
 //!
-//! The format is documented on [`spec::InstanceSpec`]; everything the
+//! Solver dispatch (for `solve`, `min-resource`, and `batch`) goes
+//! through `rtt_engine`'s registry: `--solver` accepts any
+//! [`rtt_engine::Registry::standard`] name, and `batch` fans each
+//! request out to every supporting solver when no name is given.
+//!
+//! The instance format is documented on [`spec::InstanceSpec`]; the
+//! NDJSON batch request/report wire format on [`batch`]. Everything the
 //! binary does is also available as library calls for embedding.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod args;
+pub mod batch;
 pub mod json;
 pub mod spec;
 
+pub use args::{parse_args, Args};
+pub use batch::{build_requests, report_line};
 pub use spec::{DurationSpec, EdgeSpec, Form, InstanceSpec, NodeSpec, SpecError};

@@ -1,13 +1,25 @@
 //! `rtt` — solve resource-time tradeoff instances from the shell.
+//!
+//! Solver dispatch is registry-driven: `solve`, `min-resource`, and
+//! `batch` all resolve `--solver` through [`rtt_engine::Registry`], so
+//! the CLI has no per-algorithm match of its own and new solvers appear
+//! here the moment they are registered.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rtt_cli::args::{parse_args, Args};
 use rtt_cli::InstanceSpec;
 use rtt_core::regimes::compare_regimes;
 use rtt_core::{routing_plan, validate, ArcInstance};
 use rtt_dag::gen;
 use rtt_duration::Duration;
+use rtt_engine::{
+    execute_one, run_batch, Objective, PrepCache, PreparedInstance, Registry, SolveReport,
+    SolveRequest, SolverSelection, Status,
+};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 
 const USAGE: &str = "\
 rtt — the discrete resource-time tradeoff with resource reuse over paths
@@ -15,69 +27,31 @@ rtt — the discrete resource-time tradeoff with resource reuse over paths
 USAGE:
   rtt gen --kind <race|layered|sp|chain> [--nodes N] [--seed S] [--family <recbinary|kway>]
   rtt info <instance.json>
-  rtt solve <instance.json> --budget B [--solver <exact|bicriteria|kway|recbinary|improved|sp>]
-            [--alpha A] [--plan]
-  rtt min-resource <instance.json> --target T [--alpha A]
+  rtt solve <instance.json> --budget B [--solver <name>] [--alpha A] [--plan]
+  rtt min-resource <instance.json> --target T [--solver <name>] [--alpha A]
+  rtt batch <corpus.ndjson> [--threads N] [--solver all|<name>] [--out PATH]
+  rtt solvers
   rtt regimes <instance.json> --budget B
   rtt dot <instance.json>
 
-Instances are JSON (see rtt-cli docs). `gen` writes one to stdout.";
-
-struct Args {
-    positional: Vec<String>,
-    flags: std::collections::HashMap<String, String>,
-    switches: std::collections::HashSet<String>,
-}
-
-fn parse_args(raw: &[String]) -> Result<Args, String> {
-    let mut positional = Vec::new();
-    let mut flags = std::collections::HashMap::new();
-    let mut switches = std::collections::HashSet::new();
-    let mut it = raw.iter().peekable();
-    while let Some(a) = it.next() {
-        if let Some(name) = a.strip_prefix("--") {
-            // a flag with a value unless followed by another flag / end
-            match it.peek() {
-                Some(v) if !v.starts_with("--") => {
-                    flags.insert(name.to_string(), it.next().unwrap().clone());
-                }
-                _ => {
-                    switches.insert(name.to_string());
-                }
-            }
-        } else {
-            positional.push(a.clone());
-        }
-    }
-    Ok(Args {
-        positional,
-        flags,
-        switches,
-    })
-}
-
-impl Args {
-    fn flag<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
-        match self.flags.get(name) {
-            None => Ok(None),
-            Some(v) => v
-                .parse()
-                .map(Some)
-                .map_err(|_| format!("invalid value for --{name}: {v}")),
-        }
-    }
-
-    fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
-        self.flag(name)?
-            .ok_or_else(|| format!("missing required flag --{name}"))
-    }
-}
+`rtt solvers` lists the registry (plus aliases `improved`, `sp`).
+Instances are JSON (see rtt-cli docs); batch corpora are NDJSON, one
+request per line (see the rtt_cli::batch docs). `gen` writes an
+instance to stdout.";
 
 fn load(path: &str) -> Result<ArcInstance, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let spec =
         InstanceSpec::from_json_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
     spec.build().map_err(|e| format!("building {path}: {e}"))
+}
+
+fn instance_path(args: &Args) -> Result<String, String> {
+    Ok(args
+        .positional
+        .get(1)
+        .ok_or("missing instance path")?
+        .clone())
 }
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
@@ -108,12 +82,7 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_info(args: &Args) -> Result<(), String> {
-    let path = args
-        .positional
-        .get(1)
-        .ok_or("missing instance path")?
-        .clone();
-    let arc = load(&path)?;
+    let arc = load(&instance_path(args)?)?;
     let d = arc.dag();
     println!("nodes:            {}", d.node_count());
     println!("arcs:             {}", d.edge_count());
@@ -128,87 +97,169 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_solve(args: &Args) -> Result<(), String> {
-    let path = args
-        .positional
-        .get(1)
-        .ok_or("missing instance path")?
-        .clone();
-    let arc = load(&path)?;
-    let budget: u64 = args.require("budget")?;
+/// Runs one registry solver on one instance and prints the report — the
+/// single dispatch path behind `solve` and `min-resource`.
+fn solve_via_registry(
+    args: &Args,
+    arc: ArcInstance,
+    objective: Objective,
+    solver_name: &str,
+) -> Result<SolveReport, String> {
+    let registry = Registry::standard();
+    if registry.resolve(solver_name).is_none() {
+        return Err(format!(
+            "unknown solver {solver_name}; available: {} (aliases: improved, sp)",
+            registry.names().join(", ")
+        ));
+    }
     let alpha: f64 = args.flag("alpha")?.unwrap_or(0.5);
-    let solver: String = args.flag("solver")?.unwrap_or_else(|| "bicriteria".into());
-    let sol = match solver.as_str() {
-        "exact" => rtt_core::exact::solve_exact(&arc, budget).solution,
-        "bicriteria" => {
-            let r = rtt_core::solve_bicriteria(&arc, budget, alpha)
-                .map_err(|e| e.to_string())?;
-            println!("LP lower bound:   {:.3}", r.lp_makespan);
-            r.solution
-        }
-        "kway" => {
-            let r = rtt_core::solve_kway_5approx(&arc, budget).map_err(|e| e.to_string())?;
-            println!("LP lower bound:   {:.3}", r.lp_makespan);
-            r.solution
-        }
-        "recbinary" => {
-            let r =
-                rtt_core::solve_recbinary_4approx(&arc, budget).map_err(|e| e.to_string())?;
-            println!("LP lower bound:   {:.3}", r.lp_makespan);
-            r.solution
-        }
-        "improved" => {
-            let r =
-                rtt_core::solve_recbinary_improved(&arc, budget).map_err(|e| e.to_string())?;
-            println!("LP lower bound:   {:.3}", r.lp_makespan);
-            r.solution
-        }
-        "sp" => {
-            let (_, sol) = rtt_core::sp_dp::solve_sp_exact(&arc, budget)
-                .ok_or("instance is not two-terminal series-parallel")?;
-            sol
-        }
-        other => return Err(format!("unknown solver {other}")),
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(format!("--alpha must be in (0, 1), got {alpha}"));
+    }
+    let req = SolveRequest {
+        id: "cli".into(),
+        prepared: Arc::new(PreparedInstance::new(arc)),
+        objective,
+        alpha,
+        solver: SolverSelection::Named(solver_name.to_string()),
+        deadline: None,
+        seed: args.flag("seed")?.unwrap_or(0),
     };
-    validate(&arc, &sol).map_err(|e| format!("internal: produced invalid solution: {e}"))?;
-    println!("makespan:         {}", sol.makespan);
-    println!("budget used:      {}", sol.budget_used);
-    if args.switches.contains("plan") {
-        let plan = routing_plan(&arc, &sol).map_err(|e| e.to_string())?;
-        println!("{}", plan.render(&arc));
+    let mut reports = execute_one(&registry, &req, Instant::now());
+    let report = reports.pop().expect("named selection yields one report");
+    match report.status {
+        Status::Solved => Ok(report),
+        Status::Unsupported => Err(format!("solver {solver_name}: {}", report.detail)),
+        // only a genuinely unreachable objective gets the
+        // "target unreachable" framing — usage errors stay usage errors
+        Status::Infeasible => Err(format!("target unreachable: {}", report.detail)),
+        Status::DeadlineExpired => Err("deadline expired".into()),
+    }
+}
+
+fn cmd_solve(args: &Args) -> Result<(), String> {
+    let arc = load(&instance_path(args)?)?;
+    let budget: u64 = args.require("budget")?;
+    let solver: String = args.flag("solver")?.unwrap_or_else(|| "bicriteria".into());
+    let report = solve_via_registry(args, arc.clone(), Objective::MinMakespan { budget }, &solver)?;
+    if let Some(lp) = report.lp_makespan {
+        println!("LP lower bound:   {lp:.3}");
+    }
+    let makespan = report.makespan.expect("solved report has a makespan");
+    println!("makespan:         {makespan}");
+    println!("budget used:      {}", report.budget_used.expect("solved"));
+    if args.switch("plan") {
+        match &report.solution {
+            Some(sol) => {
+                validate(&arc, sol).map_err(|e| format!("internal: invalid solution: {e}"))?;
+                let plan = routing_plan(&arc, sol).map_err(|e| e.to_string())?;
+                println!("{}", plan.render(&arc));
+            }
+            None => println!("(solver {solver} reports no routed flow to plan)"),
+        }
     }
     Ok(())
 }
 
 fn cmd_min_resource(args: &Args) -> Result<(), String> {
+    let arc = load(&instance_path(args)?)?;
+    let target: u64 = args.require("target")?;
+    let solver: String = args.flag("solver")?.unwrap_or_else(|| "bicriteria".into());
+    let report = solve_via_registry(args, arc, Objective::MinResource { target }, &solver)?;
+    if let Some(lp) = report.lp_budget {
+        println!("LP lower bound:   {lp:.3} units");
+    }
+    println!(
+        "budget needed:    {} (makespan ≤ {})",
+        report.budget_used.expect("solved"),
+        target
+    );
+    // the makespan guarantee is the solver's certificate: exact solvers
+    // meet the target itself, bi-criteria ones overshoot by their factor
+    let guarantee = match report.makespan_factor {
+        Some(f) if f > 1.0 => format!(" (guarantee: ≤ {:.1} = {:.4}·target)", f * target as f64, f),
+        Some(_) => " (meets the target exactly)".to_string(),
+        None => String::new(),
+    };
+    println!(
+        "achieved makespan:{}{guarantee}",
+        report.makespan.expect("solved")
+    );
+    Ok(())
+}
+
+fn cmd_batch(args: &Args) -> Result<(), String> {
     let path = args
         .positional
         .get(1)
-        .ok_or("missing instance path")?
-        .clone();
-    let arc = load(&path)?;
-    let target: u64 = args.require("target")?;
-    let alpha: f64 = args.flag("alpha")?.unwrap_or(0.5);
-    match rtt_core::min_resource(&arc, target, alpha) {
-        Ok(r) => {
-            validate(&arc, &r.solution).map_err(|e| format!("internal: {e}"))?;
-            println!("LP lower bound:   {:.3} units", r.lp_budget);
-            println!("budget needed:    {} (makespan ≤ {})", r.solution.budget_used, target);
-            println!("achieved makespan:{} (guarantee: ≤ target/α = {:.1})",
-                r.solution.makespan, target as f64 / alpha);
-            Ok(())
+        .ok_or("missing corpus path (NDJSON, one request per line)")?;
+    let corpus =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let threads: usize = args.flag("threads")?.unwrap_or(1);
+    let solver: String = args.flag("solver")?.unwrap_or_else(|| "all".into());
+    let registry = Registry::standard();
+    let default_solver = match solver.as_str() {
+        "all" => None,
+        name => {
+            if registry.resolve(name).is_none() {
+                return Err(format!(
+                    "unknown solver {name}; available: all, {}",
+                    registry.names().join(", ")
+                ));
+            }
+            Some(name.to_string())
         }
-        Err(e) => Err(format!("target unreachable: {e}")),
+    };
+    let cache = PrepCache::new();
+    let requests =
+        rtt_cli::batch::build_requests(&corpus, &cache, default_solver.as_deref(), &registry)?;
+    if requests.is_empty() {
+        return Err(format!("{path}: no requests (empty corpus)"));
     }
+    let out = run_batch(&registry, requests, threads);
+    let mut rendered = String::new();
+    for report in &out.reports {
+        rendered.push_str(&rtt_cli::batch::report_line(report));
+        rendered.push('\n');
+    }
+    match args.flag::<String>("out")? {
+        Some(dest) => std::fs::write(&dest, &rendered)
+            .map_err(|e| format!("writing {dest}: {e}"))?,
+        None => print!("{rendered}"),
+    }
+    // timing and cache telemetry go to stderr: the stdout stream is the
+    // byte-stable wire format
+    let stats = cache.stats();
+    eprintln!(
+        "batch: {} requests -> {} reports ({} solved, {} expired) in {:.1} ms on {} thread(s); \
+         {:.1} req/s; prep cache: {}/{} instance hits ({:.0}%), {}/{} artifact reuses ({:.0}%)",
+        out.stats.requests,
+        out.stats.reports,
+        out.stats.solved,
+        out.stats.expired,
+        out.wall.as_secs_f64() * 1e3,
+        out.stats.threads,
+        out.stats.requests as f64 / out.wall.as_secs_f64().max(1e-9),
+        stats.instance_hits,
+        stats.instance_hits + stats.instance_misses,
+        stats.instance_hit_rate() * 100.0,
+        stats.artifact_reuses,
+        stats.artifact_reuses + stats.artifact_computes,
+        stats.artifact_reuse_rate() * 100.0,
+    );
+    Ok(())
+}
+
+fn cmd_solvers() -> Result<(), String> {
+    let registry = Registry::standard();
+    for solver in registry.iter() {
+        println!("{}", solver.name());
+    }
+    Ok(())
 }
 
 fn cmd_regimes(args: &Args) -> Result<(), String> {
-    let path = args
-        .positional
-        .get(1)
-        .ok_or("missing instance path")?
-        .clone();
-    let arc = load(&path)?;
+    let arc = load(&instance_path(args)?)?;
     let budget: u64 = args.require("budget")?;
     let c = compare_regimes(&arc, budget);
     println!("budget {budget}:");
@@ -219,12 +270,7 @@ fn cmd_regimes(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_dot(args: &Args) -> Result<(), String> {
-    let path = args
-        .positional
-        .get(1)
-        .ok_or("missing instance path")?
-        .clone();
-    let arc = load(&path)?;
+    let arc = load(&instance_path(args)?)?;
     let dot = rtt_dag::dot::to_dot(
         arc.dag(),
         "instance",
@@ -252,6 +298,8 @@ fn run() -> Result<(), String> {
         Some("info") => cmd_info(&args),
         Some("solve") => cmd_solve(&args),
         Some("min-resource") => cmd_min_resource(&args),
+        Some("batch") => cmd_batch(&args),
+        Some("solvers") => cmd_solvers(),
         Some("regimes") => cmd_regimes(&args),
         Some("dot") => cmd_dot(&args),
         Some(other) => Err(format!("unknown command {other}\n\n{USAGE}")),

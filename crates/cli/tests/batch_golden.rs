@@ -1,0 +1,88 @@
+//! Golden test for the `rtt batch` wire format: the committed smoke
+//! corpus must produce byte-identical NDJSON at every thread count —
+//! the same check CI runs against the same files.
+//!
+//! If a deliberate solver or format change alters the output,
+//! regenerate the golden file with:
+//!
+//! ```text
+//! cargo run --release -p rtt_cli --bin rtt -- batch \
+//!   crates/cli/tests/data/corpus_smoke.ndjson --threads 1 \
+//!   --out crates/cli/tests/data/corpus_smoke.golden.ndjson
+//! ```
+
+use std::process::Command;
+
+const CORPUS: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/data/corpus_smoke.ndjson"
+);
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/data/corpus_smoke.golden.ndjson"
+);
+
+fn run_batch(threads: &str) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_rtt"))
+        .args(["batch", CORPUS, "--threads", threads])
+        .output()
+        .expect("spawn rtt batch");
+    assert!(
+        out.status.success(),
+        "rtt batch failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("reports are UTF-8")
+}
+
+#[test]
+fn batch_output_matches_golden_at_every_thread_count() {
+    let golden = std::fs::read_to_string(GOLDEN).expect("committed golden output");
+    assert!(!golden.trim().is_empty());
+    for threads in ["1", "2", "4", "8"] {
+        let got = run_batch(threads);
+        assert_eq!(
+            got, golden,
+            "batch output diverged from the golden file at --threads {threads}; \
+             see the module docs for how to regenerate after a deliberate change"
+        );
+    }
+}
+
+#[test]
+fn batch_summary_reports_cache_telemetry_on_stderr() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rtt"))
+        .args(["batch", CORPUS, "--threads", "2"])
+        .output()
+        .expect("spawn rtt batch");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("prep cache"), "{stderr}");
+    assert!(stderr.contains("req/s"), "{stderr}");
+}
+
+#[test]
+fn batch_rejects_empty_and_malformed_corpora() {
+    let dir = std::env::temp_dir().join(format!("rtt-batch-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let empty = dir.join("empty.ndjson");
+    std::fs::write(&empty, "\n\n").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_rtt"))
+        .args(["batch", empty.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    let bad = dir.join("bad.ndjson");
+    std::fs::write(&bad, "{\"instance\":").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_rtt"))
+        .args(["batch", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("line 1"),
+        "errors must name the offending line"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

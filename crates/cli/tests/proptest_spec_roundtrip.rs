@@ -1,0 +1,97 @@
+//! Round-trip property tests for the on-disk instance format:
+//! `to_json_string` → `from_json_str` → `build` must reproduce the
+//! instance, and `from_arc` ∘ `build` must preserve it, over random
+//! generated DAGs of every `rtt gen` kind and every duration family.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtt_cli::InstanceSpec;
+use rtt_core::ArcInstance;
+use rtt_dag::gen;
+use rtt_duration::Duration;
+
+/// Deterministic instance from `(kind, family, seed)` — the same
+/// construction path `rtt gen` uses.
+fn generate(kind: usize, family: usize, seed: u64, nodes: usize) -> ArcInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tt = match kind % 4 {
+        0 => gen::random_race_dag(&mut rng, nodes, nodes),
+        1 => gen::layered(&mut rng, 3, nodes.div_ceil(3).max(1), 0.4),
+        2 => gen::random_sp(&mut rng, nodes.max(1)).tt,
+        _ => gen::chain(nodes.max(1)),
+    };
+    let fam: fn(u64) -> Duration = match family % 3 {
+        0 => Duration::recursive_binary,
+        1 => Duration::kway,
+        // a non-trivial step family exercises the `step` wire encoding
+        _ => |w| Duration::two_point(w.saturating_mul(2), w.max(1), w / 2),
+    };
+    let inst = rtt_core::Instance::race_dag(&tt.dag, fam).expect("generated DAG is valid");
+    rtt_core::to_arc_form(&inst).0
+}
+
+/// Structural equality of two arc instances: same shape, same
+/// endpoints, same canonical duration tuples, same labels.
+fn assert_same_instance(a: &ArcInstance, b: &ArcInstance) {
+    let (da, db) = (a.dag(), b.dag());
+    assert_eq!(da.node_count(), db.node_count());
+    assert_eq!(da.edge_count(), db.edge_count());
+    assert_eq!(a.source(), b.source());
+    assert_eq!(a.sink(), b.sink());
+    for (ea, eb) in da.edge_refs().zip(db.edge_refs()) {
+        assert_eq!((ea.src, ea.dst), (eb.src, eb.dst));
+        assert_eq!(ea.weight.label, eb.weight.label);
+        assert_eq!(
+            ea.weight.duration.tuples(),
+            eb.weight.duration.tuples(),
+            "edge {:?} changed its duration across the round trip",
+            ea.id
+        );
+    }
+    // derived quantities follow, but check the cheap ones anyway
+    assert_eq!(a.base_makespan(), b.base_makespan());
+    assert_eq!(a.ideal_makespan(), b.ideal_makespan());
+    assert_eq!(a.saturation_budget(), b.saturation_budget());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `from_arc` ∘ `build` is the identity on arc instances, through
+    /// the JSON text round trip.
+    #[test]
+    fn json_text_round_trip_preserves_instances(
+        kind in 0usize..4,
+        family in 0usize..3,
+        seed in 0u64..10_000,
+        nodes in 2usize..10,
+    ) {
+        let arc = generate(kind, family, seed, nodes);
+        let spec = InstanceSpec::from_arc(&arc);
+        let text = spec.to_json_string();
+        let parsed = InstanceSpec::from_json_str(&text).expect("own output parses");
+        let rebuilt = parsed.build().expect("own output builds");
+        assert_same_instance(&arc, &rebuilt);
+        // and the parsed spec re-serializes to the identical text: the
+        // encoding is canonical, not merely equivalent
+        prop_assert_eq!(text, parsed.to_json_string());
+    }
+
+    /// A second `from_arc` after the round trip yields the same spec —
+    /// `from_arc` ∘ `build` is idempotent on the spec side too.
+    #[test]
+    fn from_arc_build_is_idempotent(
+        kind in 0usize..4,
+        family in 0usize..3,
+        seed in 0u64..10_000,
+        nodes in 2usize..8,
+    ) {
+        let arc = generate(kind, family, seed, nodes);
+        let spec = InstanceSpec::from_arc(&arc);
+        let once = spec.build().expect("builds");
+        let spec2 = InstanceSpec::from_arc(&once);
+        prop_assert_eq!(spec.to_json_string(), spec2.to_json_string());
+        assert_same_instance(&once, &spec2.build().expect("builds again"));
+    }
+}

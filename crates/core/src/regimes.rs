@@ -423,8 +423,18 @@ pub fn solve_noreuse_bicriteria(
     alpha: f64,
 ) -> Result<NoReuseApprox, LpError> {
     let tt = expand_two_tuples(arc);
-    let frac = solve_noreuse_lp(&tt, budget)?;
-    let lower = crate::rounding::alpha_round(&tt, &frac, alpha);
+    solve_noreuse_bicriteria_prepped(arc, &tt, budget, alpha)
+}
+
+/// [`solve_noreuse_bicriteria`] on a caller-supplied `D''` expansion.
+pub fn solve_noreuse_bicriteria_prepped(
+    arc: &ArcInstance,
+    tt: &TwoTupleInstance,
+    budget: Resource,
+    alpha: f64,
+) -> Result<NoReuseApprox, LpError> {
+    let frac = solve_noreuse_lp(tt, budget)?;
+    let lower = crate::rounding::alpha_round(tt, &frac, alpha);
     // collapse the per-chain purchases into per-D'-edge levels
     let d = arc.dag();
     let mut levels = vec![0; d.edge_count()];

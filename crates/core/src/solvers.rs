@@ -57,6 +57,9 @@ pub struct ApproxSolution {
     /// Guaranteed factor: `solution.budget_used ≤ resource_factor · B`
     /// (or `· OPT-resource` for min-resource).
     pub resource_factor: f64,
+    /// Simplex pivots the LP relaxation spent (0 for LP-free paths) —
+    /// the pipeline's dominant work counter.
+    pub lp_pivots: usize,
 }
 
 impl ApproxSolution {
@@ -194,10 +197,23 @@ pub fn solve_bicriteria_with(
     engine: rtt_lp::Engine,
 ) -> Result<ApproxSolution, SolveError> {
     let tt = expand_two_tuples(arc);
-    let frac = solve_min_makespan_lp_with(&tt, budget, engine)?;
-    let lower = alpha_round(&tt, &frac, alpha);
-    let (used, tt_flows) = route_min_flow(&tt, &lower);
-    Ok(finish_on_tt(arc, &tt, frac, tt_flows, used, alpha))
+    solve_bicriteria_prepped(arc, &tt, budget, alpha, engine)
+}
+
+/// [`solve_bicriteria_with`] on a caller-supplied `D''` expansion, so
+/// one [`expand_two_tuples`] run can feed many solves on the same
+/// instance (`rtt_engine` shares it through its preprocessing cache).
+pub fn solve_bicriteria_prepped(
+    arc: &ArcInstance,
+    tt: &TwoTupleInstance,
+    budget: Resource,
+    alpha: f64,
+    engine: rtt_lp::Engine,
+) -> Result<ApproxSolution, SolveError> {
+    let frac = solve_min_makespan_lp_with(tt, budget, engine)?;
+    let lower = alpha_round(tt, &frac, alpha);
+    let (used, tt_flows) = route_min_flow(tt, &lower);
+    Ok(finish_on_tt(arc, tt, frac, tt_flows, used, alpha))
 }
 
 /// Assembles the bi-criteria result from a `D''` routing.
@@ -237,14 +253,15 @@ fn finish_on_tt(
         "D' and D'' makespans must agree"
     );
     ApproxSolution {
+        lp_makespan: frac.makespan,
+        lp_budget: frac.budget_used,
+        lp_pivots: frac.pivots,
         solution: Solution {
             arc_flows,
             edge_times,
             makespan,
             budget_used: used,
         },
-        lp_makespan: frac.makespan,
-        lp_budget: frac.budget_used,
         makespan_factor: 1.0 / alpha,
         resource_factor: 1.0 / (1.0 - alpha),
     }
@@ -266,11 +283,22 @@ pub fn solve_kway_5approx(
     arc: &ArcInstance,
     budget: Resource,
 ) -> Result<ApproxSolution, SolveError> {
+    // reject the wrong family before paying for the D'' expansion
     require_family(arc, "k-way", |k| matches!(k, DurationKind::KWay { .. }))?;
     let tt = expand_two_tuples(arc);
-    let frac = solve_min_makespan_lp(&tt, budget)?;
-    let lower = alpha_round(&tt, &frac, 0.5);
-    let jobs = per_job_stats(&tt, &frac, &lower);
+    solve_kway_5approx_prepped(arc, &tt, budget)
+}
+
+/// [`solve_kway_5approx`] on a caller-supplied `D''` expansion.
+pub fn solve_kway_5approx_prepped(
+    arc: &ArcInstance,
+    tt: &TwoTupleInstance,
+    budget: Resource,
+) -> Result<ApproxSolution, SolveError> {
+    require_family(arc, "k-way", |k| matches!(k, DurationKind::KWay { .. }))?;
+    let frac = solve_min_makespan_lp(tt, budget)?;
+    let lower = alpha_round(tt, &frac, 0.5);
+    let jobs = per_job_stats(tt, &frac, &lower);
 
     let d = arc.dag();
     let mut levels = vec![0; d.edge_count()];
@@ -296,6 +324,7 @@ pub fn solve_kway_5approx(
         solution,
         lp_makespan: frac.makespan,
         lp_budget: frac.budget_used,
+        lp_pivots: frac.pivots,
         makespan_factor: 5.0,
         resource_factor: 1.0,
     })
@@ -320,9 +349,21 @@ pub fn solve_recbinary_4approx(
         matches!(k, DurationKind::RecursiveBinary { .. })
     })?;
     let tt = expand_two_tuples(arc);
-    let frac = solve_min_makespan_lp(&tt, budget)?;
-    let lower = alpha_round(&tt, &frac, 0.5);
-    let jobs = per_job_stats(&tt, &frac, &lower);
+    solve_recbinary_4approx_prepped(arc, &tt, budget)
+}
+
+/// [`solve_recbinary_4approx`] on a caller-supplied `D''` expansion.
+pub fn solve_recbinary_4approx_prepped(
+    arc: &ArcInstance,
+    tt: &TwoTupleInstance,
+    budget: Resource,
+) -> Result<ApproxSolution, SolveError> {
+    require_family(arc, "recursive-binary", |k| {
+        matches!(k, DurationKind::RecursiveBinary { .. })
+    })?;
+    let frac = solve_min_makespan_lp(tt, budget)?;
+    let lower = alpha_round(tt, &frac, 0.5);
+    let jobs = per_job_stats(tt, &frac, &lower);
 
     let d = arc.dag();
     let mut levels = vec![0; d.edge_count()];
@@ -349,6 +390,7 @@ pub fn solve_recbinary_4approx(
         solution,
         lp_makespan: frac.makespan,
         lp_budget: frac.budget_used,
+        lp_pivots: frac.pivots,
         makespan_factor: 4.0,
         resource_factor: 1.0,
     })
@@ -373,7 +415,19 @@ pub fn solve_recbinary_improved(
         matches!(k, DurationKind::RecursiveBinary { .. })
     })?;
     let tt = expand_two_tuples(arc);
-    let frac = solve_min_makespan_lp(&tt, budget)?;
+    solve_recbinary_improved_prepped(arc, &tt, budget)
+}
+
+/// [`solve_recbinary_improved`] on a caller-supplied `D''` expansion.
+pub fn solve_recbinary_improved_prepped(
+    arc: &ArcInstance,
+    tt: &TwoTupleInstance,
+    budget: Resource,
+) -> Result<ApproxSolution, SolveError> {
+    require_family(arc, "recursive-binary", |k| {
+        matches!(k, DurationKind::RecursiveBinary { .. })
+    })?;
+    let frac = solve_min_makespan_lp(tt, budget)?;
     let d = arc.dag();
     let mut levels = vec![0; d.edge_count()];
     for info in &tt.chains {
@@ -404,6 +458,7 @@ pub fn solve_recbinary_improved(
         solution,
         lp_makespan: frac.makespan,
         lp_budget: frac.budget_used,
+        lp_pivots: frac.pivots,
         makespan_factor: 14.0 / 5.0,
         resource_factor: 4.0 / 3.0,
     })
@@ -425,10 +480,20 @@ pub fn min_resource(
     alpha: f64,
 ) -> Result<ApproxSolution, SolveError> {
     let tt = expand_two_tuples(arc);
-    let frac = solve_min_resource_lp(&tt, target)?;
-    let lower = alpha_round(&tt, &frac, alpha);
-    let (used, tt_flows) = route_min_flow(&tt, &lower);
-    Ok(finish_on_tt(arc, &tt, frac, tt_flows, used, alpha))
+    min_resource_prepped(arc, &tt, target, alpha)
+}
+
+/// [`min_resource`] on a caller-supplied `D''` expansion.
+pub fn min_resource_prepped(
+    arc: &ArcInstance,
+    tt: &TwoTupleInstance,
+    target: Time,
+    alpha: f64,
+) -> Result<ApproxSolution, SolveError> {
+    let frac = solve_min_resource_lp(tt, target)?;
+    let lower = alpha_round(tt, &frac, alpha);
+    let (used, tt_flows) = route_min_flow(tt, &lower);
+    Ok(finish_on_tt(arc, tt, frac, tt_flows, used, alpha))
 }
 
 fn require_family(

@@ -345,10 +345,22 @@ pub fn solve_sp_tree_naive(
 /// routing it with a min-flow. Returns `None` if the instance is not
 /// two-terminal series-parallel.
 pub fn solve_sp_exact(arc: &ArcInstance, budget: Resource) -> Option<(SpSolution, Solution)> {
+    let tree = decompose(arc.dag(), arc.source(), arc.sink())?;
+    Some(solve_sp_exact_with_tree(arc, &tree, budget))
+}
+
+/// [`solve_sp_exact`] on a caller-supplied decomposition tree, so one
+/// [`decompose`] run can feed many budgets/solves on the same instance
+/// (`rtt_engine` shares it through its preprocessing cache). The tree
+/// must come from decomposing `arc` itself.
+pub fn solve_sp_exact_with_tree(
+    arc: &ArcInstance,
+    tree: &SpTree,
+    budget: Resource,
+) -> (SpSolution, Solution) {
     let d = arc.dag();
-    let tree = decompose(d, arc.source(), arc.sink())?;
     let (curve, alloc) = solve_sp_tree(
-        &tree,
+        tree,
         |e| d.edge(e).duration.clone(),
         budget,
     );
@@ -382,7 +394,7 @@ pub fn solve_sp_exact(arc: &ArcInstance, budget: Resource) -> Option<(SpSolution
         .expect("acyclic")
         .weight;
     debug_assert_eq!(recomputed, makespan, "DP value must match its allocation");
-    Some((
+    (
         SpSolution {
             makespan,
             curve,
@@ -394,7 +406,7 @@ pub fn solve_sp_exact(arc: &ArcInstance, budget: Resource) -> Option<(SpSolution
             makespan: recomputed,
             budget_used: flow.value,
         },
-    ))
+    )
 }
 
 /// Exact minimum-resource for a series-parallel instance: the smallest

@@ -1,0 +1,308 @@
+//! The parallel batch executor: a fixed worker pool draining a queue of
+//! [`SolveRequest`]s through a shared [`Registry`].
+//!
+//! Work distribution runs over the `crossbeam` channel shim: one
+//! MPMC job channel feeds every worker, one result channel collects
+//! `(index, reports)` pairs, and the caller reassembles them in request
+//! order — so the emitted report sequence is **independent of the
+//! thread count and of scheduling**, which is what makes `rtt batch`
+//! byte-stable (timing fields aside, which the wire format therefore
+//! omits).
+//!
+//! Per-request deadlines are enforced at dequeue: a request still
+//! queued when its deadline passes is reported as
+//! [`Status::DeadlineExpired`] without touching a solver. Running
+//! solvers are not preempted — solver granularity is the preemption
+//! granularity, as in any cooperative pool.
+
+use crate::registry::Registry;
+use crate::request::{SolveRequest, SolveReport, SolverSelection, Status};
+use std::time::{Duration as StdDuration, Instant};
+
+/// Aggregate counters of one [`run_batch`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Requests consumed.
+    pub requests: usize,
+    /// Reports produced (≥ requests under `--solver all`).
+    pub reports: usize,
+    /// Reports with [`Status::Solved`].
+    pub solved: usize,
+    /// Reports with [`Status::DeadlineExpired`].
+    pub expired: usize,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+/// Reports (in request order) plus statistics.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// One entry per (request, selected solver), flattened in request
+    /// order then registry order — deterministic for a fixed input.
+    pub reports: Vec<SolveReport>,
+    /// Aggregate counters.
+    pub stats: BatchStats,
+    /// Wall-clock time of the whole batch.
+    pub wall: StdDuration,
+}
+
+/// Executes one request against the registry, in the calling thread.
+/// `queued_at` feeds the deadline check and the `queue_wait` counters;
+/// pass `Instant::now()` for an interactive solve.
+pub fn execute_one(
+    registry: &Registry,
+    req: &SolveRequest,
+    queued_at: Instant,
+) -> Vec<SolveReport> {
+    let queue_wait = queued_at.elapsed();
+    // resolve the selection to concrete solvers first, so deadline
+    // expiry yields the same report multiset a live run would
+    let selected: Vec<&dyn crate::Solver> = match &req.solver {
+        SolverSelection::Named(name) => match registry.resolve(name) {
+            Some(s) => vec![s],
+            None => {
+                return vec![SolveReport::new(
+                    req.id.clone(),
+                    "registry",
+                    Status::Unsupported,
+                    format!("unknown solver {name:?}"),
+                )]
+            }
+        },
+        SolverSelection::All => registry.supporting_prepared(&req.prepared),
+    };
+    if let Some(deadline) = req.deadline {
+        if queue_wait > deadline {
+            return selected
+                .iter()
+                .map(|s| {
+                    let mut r = SolveReport::new(
+                        req.id.clone(),
+                        s.name(),
+                        Status::DeadlineExpired,
+                        "deadline passed while queued",
+                    );
+                    r.queue_wait = queue_wait;
+                    r
+                })
+                .collect();
+        }
+    }
+    selected
+        .iter()
+        .map(|s| {
+            let started = Instant::now();
+            let mut report = s.solve(req);
+            report.wall = started.elapsed();
+            report.queue_wait = queue_wait;
+            report
+        })
+        .collect()
+}
+
+/// Drains `requests` through a pool of `threads` workers and returns
+/// the reports in request order. `threads` is clamped to ≥ 1; the pool
+/// is torn down before returning.
+pub fn run_batch(
+    registry: &Registry,
+    requests: Vec<SolveRequest>,
+    threads: usize,
+) -> BatchOutcome {
+    let started = Instant::now();
+    let threads = threads.max(1);
+    let n = requests.len();
+    let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, SolveRequest, Instant)>();
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, Vec<SolveReport>)>();
+
+    let enqueued = Instant::now();
+    for (i, req) in requests.into_iter().enumerate() {
+        job_tx.send((i, req, enqueued)).expect("receiver alive");
+    }
+    drop(job_tx); // workers drain to disconnect
+
+    let mut slots: Vec<Option<Vec<SolveReport>>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move || {
+                for (i, req, queued_at) in job_rx.iter() {
+                    let reports = execute_one(registry, &req, queued_at);
+                    if res_tx.send((i, reports)).is_err() {
+                        break; // collector gone: nothing left to do
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        for (i, reports) in res_rx.iter() {
+            slots[i] = Some(reports);
+        }
+    });
+
+    let reports: Vec<SolveReport> = slots
+        .into_iter()
+        .flat_map(|s| s.expect("every request produces reports"))
+        .collect();
+    let stats = BatchStats {
+        requests: n,
+        reports: reports.len(),
+        solved: reports
+            .iter()
+            .filter(|r| r.status == Status::Solved)
+            .count(),
+        expired: reports
+            .iter()
+            .filter(|r| r.status == Status::DeadlineExpired)
+            .count(),
+        threads,
+    };
+    BatchOutcome {
+        reports,
+        stats,
+        wall: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep::PreparedInstance;
+    use crate::request::Objective;
+    use rtt_core::instance::Activity;
+    use rtt_core::ArcInstance;
+    use rtt_dag::Dag;
+    use rtt_duration::Duration;
+    use std::sync::Arc;
+
+    fn chain_instance(len: usize) -> ArcInstance {
+        let mut g: Dag<(), Activity> = Dag::new();
+        let mut prev = g.add_node(());
+        for i in 0..len {
+            let next = g.add_node(());
+            g.add_edge(
+                prev,
+                next,
+                Activity::new(Duration::two_point(10 + i as u64, 4, 1)),
+            )
+            .unwrap();
+            prev = next;
+        }
+        ArcInstance::new(g).unwrap()
+    }
+
+    fn requests(k: usize) -> Vec<SolveRequest> {
+        (0..k)
+            .map(|i| {
+                let prep = Arc::new(PreparedInstance::new(chain_instance(2 + i % 3)));
+                SolveRequest::min_makespan(format!("r{i}"), prep, 4 + (i % 5) as u64)
+            })
+            .collect()
+    }
+
+    /// The deterministic projection of a report (timing stripped).
+    fn key(r: &SolveReport) -> (String, String, String, Option<u64>, Option<u64>) {
+        (
+            r.id.clone(),
+            r.solver.to_string(),
+            r.status.as_str().to_string(),
+            r.makespan,
+            r.budget_used,
+        )
+    }
+
+    #[test]
+    fn batch_order_is_independent_of_thread_count() {
+        let registry = Registry::standard();
+        let baseline: Vec<_> = run_batch(&registry, requests(12), 1)
+            .reports
+            .iter()
+            .map(key)
+            .collect();
+        assert!(!baseline.is_empty());
+        for threads in [2, 4, 8] {
+            let got: Vec<_> = run_batch(&registry, requests(12), threads)
+                .reports
+                .iter()
+                .map(key)
+                .collect();
+            assert_eq!(baseline, got, "thread count {threads} changed the output");
+        }
+    }
+
+    #[test]
+    fn all_selection_reports_every_supporting_solver() {
+        let registry = Registry::standard();
+        let out = run_batch(&registry, requests(1), 2);
+        let solvers: Vec<_> = out.reports.iter().map(|r| r.solver).collect();
+        // chain instances are SP with step durations: the family
+        // solvers drop out via supports(), the rest all answer
+        assert!(solvers.contains(&"exact"));
+        assert!(solvers.contains(&"bicriteria"));
+        assert!(solvers.contains(&"sp-dp"));
+        assert!(solvers.contains(&"noreuse-exact"));
+        assert!(solvers.contains(&"global-greedy"));
+        assert!(!solvers.contains(&"kway"));
+        assert_eq!(out.stats.requests, 1);
+        assert_eq!(out.stats.reports, out.reports.len());
+        assert_eq!(out.stats.solved, out.reports.len(), "all must solve");
+    }
+
+    #[test]
+    fn named_selection_and_unknown_name() {
+        let registry = Registry::standard();
+        let mut reqs = requests(2);
+        reqs[0].solver = SolverSelection::Named("bicriteria".into());
+        reqs[1].solver = SolverSelection::Named("no-such".into());
+        let out = run_batch(&registry, reqs, 2);
+        assert_eq!(out.reports.len(), 2);
+        assert_eq!(out.reports[0].solver, "bicriteria");
+        assert_eq!(out.reports[0].status, Status::Solved);
+        assert_eq!(out.reports[1].status, Status::Unsupported);
+        assert!(out.reports[1].detail.contains("unknown solver"));
+    }
+
+    #[test]
+    fn expired_deadline_skips_the_solve() {
+        let registry = Registry::standard();
+        let prep = Arc::new(PreparedInstance::new(chain_instance(2)));
+        let mut req = SolveRequest::min_makespan("late", prep, 4);
+        req.solver = SolverSelection::Named("bicriteria".into());
+        req.deadline = Some(StdDuration::ZERO);
+        // queued "long ago": any positive wait exceeds a zero deadline
+        let queued = Instant::now() - StdDuration::from_millis(50);
+        let reports = execute_one(&registry, &req, queued);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].status, Status::DeadlineExpired);
+        assert!(reports[0].makespan.is_none());
+    }
+
+    #[test]
+    fn named_exact_runs_past_the_fanout_cap() {
+        // 12 improvable jobs: above EXACT_JOB_CAP, so `all` skips the
+        // exact solvers — but an explicitly named request still runs
+        // (the old CLI behavior, kept)
+        let registry = Registry::standard();
+        let prep = Arc::new(PreparedInstance::new(chain_instance(12)));
+        assert!(!registry
+            .supporting_prepared(&prep)
+            .iter()
+            .any(|s| s.name() == "exact"));
+        let req = SolveRequest::min_makespan("big", prep, 4).with_solver("exact");
+        let reports = execute_one(&registry, &req, Instant::now());
+        assert_eq!(reports[0].status, Status::Solved);
+        assert!(reports[0].makespan.is_some());
+    }
+
+    #[test]
+    fn min_resource_objective_flows_through() {
+        let registry = Registry::standard();
+        let prep = Arc::new(PreparedInstance::new(chain_instance(2)));
+        let mut req = SolveRequest::min_resource("mr", prep, 6);
+        req.solver = SolverSelection::Named("exact".into());
+        let reports = execute_one(&registry, &req, Instant::now());
+        assert_eq!(reports[0].status, Status::Solved);
+        assert!(reports[0].makespan.unwrap() <= 6);
+        let _ = Objective::MinResource { target: 6 };
+    }
+}

@@ -1,0 +1,58 @@
+//! # rtt-engine — the serving layer of the resource-time tradeoff repo
+//!
+//! Every algorithm in this repository — the §3.1–§3.3 LP-rounding
+//! approximations, the §3.4 series-parallel DP, exhaustive search, and
+//! the §1 regime baselines — used to be a differently-shaped free
+//! function that each consumer re-dispatched by hand. This crate puts
+//! them behind one seam:
+//!
+//! * [`Solver`] — the uniform trait: `name()`, `supports()`, and
+//!   `solve(&SolveRequest) -> SolveReport`;
+//! * [`Registry`] — every registered algorithm, addressable by name and
+//!   enumerable (`rtt_cli`'s `--solver` dispatch and the batch `all`
+//!   fan-out both walk it);
+//! * [`PreparedInstance`] / [`PrepCache`] — per-instance preprocessing
+//!   (two-tuple expansion, SP decomposition, topological order)
+//!   computed once and shared by every solver that needs it;
+//! * [`run_batch`] — a fixed thread pool over the `crossbeam` channel
+//!   shim that drains a request queue, enforces per-request deadlines,
+//!   and returns reports in request order, so batch output is
+//!   independent of the thread count.
+//!
+//! The free functions in `rtt_core` remain the algorithmic ground
+//! truth; the trait impls here are thin adapters that certify every
+//! result before reporting it. New scaling work (sharding, async
+//! serving, alternative backends) plugs in behind [`Solver`] without
+//! touching the layers above.
+//!
+//! ```
+//! use rtt_engine::{PrepCache, Registry, SolveRequest, run_batch};
+//! # use rtt_core::instance::Activity;
+//! # use rtt_duration::Duration;
+//! # let mut g: rtt_dag::Dag<(), Activity> = rtt_dag::Dag::new();
+//! # let s = g.add_node(());
+//! # let t = g.add_node(());
+//! # g.add_edge(s, t, Activity::new(Duration::two_point(10, 4, 0))).unwrap();
+//! # let arc = rtt_core::ArcInstance::new(g).unwrap();
+//! let registry = Registry::standard();
+//! let cache = PrepCache::new();
+//! let prep = cache.get_or_insert("doc-instance", || arc);
+//! let reqs = vec![SolveRequest::min_makespan("q1", prep, 4)];
+//! let out = run_batch(&registry, reqs, 4);
+//! assert!(out.reports.iter().all(|r| r.makespan.is_some()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod prep;
+pub mod registry;
+pub mod request;
+pub mod solver;
+
+pub use executor::{execute_one, run_batch, BatchOutcome, BatchStats};
+pub use prep::{CacheStats, PrepCache, PreparedInstance};
+pub use registry::{canonical_name, Registry};
+pub use request::{Objective, SolveReport, SolveRequest, SolverSelection, Status};
+pub use solver::{Capability, Solver};

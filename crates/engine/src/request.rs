@@ -1,0 +1,192 @@
+//! The uniform request/report types every solver speaks.
+
+use crate::prep::PreparedInstance;
+use rtt_core::Solution;
+use rtt_duration::{Resource, Time};
+use std::sync::Arc;
+use std::time::Duration as StdDuration;
+
+/// What a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Minimize the makespan under a resource budget `B` (§3 problems).
+    MinMakespan {
+        /// The resource budget.
+        budget: Resource,
+    },
+    /// Minimize the resource subject to a makespan target `T`.
+    MinResource {
+        /// The makespan target.
+        target: Time,
+    },
+}
+
+/// Which registered solvers a request should run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverSelection {
+    /// One solver, by registry name.
+    Named(String),
+    /// Every registered solver that [`supports`](crate::Solver::supports)
+    /// the instance.
+    All,
+}
+
+/// One unit of work for the engine: an instance (with shared
+/// preprocessing), an objective, and execution knobs.
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    /// Caller-chosen identifier, echoed in every report.
+    pub id: String,
+    /// The instance, deduplicated/shared via [`crate::PrepCache`].
+    pub prepared: Arc<PreparedInstance>,
+    /// What to optimize.
+    pub objective: Objective,
+    /// Rounding parameter for the bi-criteria pipelines (§3.1's α).
+    pub alpha: f64,
+    /// Which solver(s) to run.
+    pub solver: SolverSelection,
+    /// Per-request deadline, measured from enqueue time. A request
+    /// still queued when its deadline passes is reported as
+    /// [`Status::DeadlineExpired`] without running.
+    pub deadline: Option<StdDuration>,
+    /// Seed echoed into reports (reserved for randomized solvers; every
+    /// current solver is deterministic).
+    pub seed: u64,
+}
+
+impl SolveRequest {
+    /// A minimum-makespan request with the common defaults
+    /// (α = 0.5, no deadline, seed 0, all supporting solvers).
+    pub fn min_makespan(
+        id: impl Into<String>,
+        prepared: Arc<PreparedInstance>,
+        budget: Resource,
+    ) -> Self {
+        SolveRequest {
+            id: id.into(),
+            prepared,
+            objective: Objective::MinMakespan { budget },
+            alpha: 0.5,
+            solver: SolverSelection::All,
+            deadline: None,
+            seed: 0,
+        }
+    }
+
+    /// Same defaults for a minimum-resource request.
+    pub fn min_resource(
+        id: impl Into<String>,
+        prepared: Arc<PreparedInstance>,
+        target: Time,
+    ) -> Self {
+        SolveRequest {
+            id: id.into(),
+            prepared,
+            objective: Objective::MinResource { target },
+            alpha: 0.5,
+            solver: SolverSelection::All,
+            deadline: None,
+            seed: 0,
+        }
+    }
+
+    /// Selects a single solver by name.
+    pub fn with_solver(mut self, name: impl Into<String>) -> Self {
+        self.solver = SolverSelection::Named(name.into());
+        self
+    }
+}
+
+/// Terminal state of one (request, solver) execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Status {
+    /// The solver produced (and internally certified) a result.
+    Solved,
+    /// The solver does not apply to this instance or objective.
+    Unsupported,
+    /// The objective is unreachable (e.g. a makespan target below the
+    /// ideal makespan).
+    Infeasible,
+    /// The request's deadline passed before the solver started.
+    DeadlineExpired,
+}
+
+impl Status {
+    /// Stable lowercase wire name (used by the NDJSON batch format).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Status::Solved => "solved",
+            Status::Unsupported => "unsupported",
+            Status::Infeasible => "infeasible",
+            Status::DeadlineExpired => "deadline-expired",
+        }
+    }
+}
+
+/// The uniform answer: solution + certificates + execution counters.
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    /// Echo of [`SolveRequest::id`].
+    pub id: String,
+    /// Registry name of the solver that produced this report.
+    pub solver: &'static str,
+    /// Terminal state.
+    pub status: Status,
+    /// Human-readable detail for non-[`Status::Solved`] reports.
+    pub detail: String,
+    /// Achieved makespan.
+    pub makespan: Option<Time>,
+    /// Resource consumed (routed flow value, Σ levels, or peak pool
+    /// usage, per the solver's regime).
+    pub budget_used: Option<Resource>,
+    /// LP lower bound on the optimal makespan, when the pipeline
+    /// computes one.
+    pub lp_makespan: Option<f64>,
+    /// LP resource usage / lower bound, when computed.
+    pub lp_budget: Option<f64>,
+    /// Certified factor on the makespan (`makespan ≤ factor · OPT`);
+    /// `1.0` for exact solvers, absent for heuristics.
+    pub makespan_factor: Option<f64>,
+    /// Certified factor on the resource, same conventions.
+    pub resource_factor: Option<f64>,
+    /// The routed integral solution, for solvers in the paper's
+    /// reuse-over-paths regime (regime baselines certify their own
+    /// forms and leave this empty).
+    pub solution: Option<Solution>,
+    /// Solver-specific work counter (simplex pivots, search nodes, DP
+    /// cells — see each solver's docs).
+    pub work: u64,
+    /// Wall-clock time of the solve call itself.
+    pub wall: StdDuration,
+    /// Time the request spent queued before the solve started.
+    pub queue_wait: StdDuration,
+}
+
+impl SolveReport {
+    /// A report skeleton with the given status and no solution fields —
+    /// the base both failure reports and (to-be-filled) solved reports
+    /// start from.
+    pub fn new(
+        id: impl Into<String>,
+        solver: &'static str,
+        status: Status,
+        detail: impl Into<String>,
+    ) -> Self {
+        SolveReport {
+            id: id.into(),
+            solver,
+            status,
+            detail: detail.into(),
+            makespan: None,
+            budget_used: None,
+            lp_makespan: None,
+            lp_budget: None,
+            makespan_factor: None,
+            resource_factor: None,
+            solution: None,
+            work: 0,
+            wall: StdDuration::ZERO,
+            queue_wait: StdDuration::ZERO,
+        }
+    }
+}

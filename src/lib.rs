@@ -10,8 +10,8 @@
 //! resource.
 //!
 //! This facade re-exports the workspace crates; see each for the full
-//! API ([`core`], [`dag`], [`duration`], [`lp`], [`flow`], [`sim`],
-//! [`reducer`], [`race`], [`hardness`]).
+//! API ([`core`], [`engine`], [`dag`], [`duration`], [`lp`], [`flow`],
+//! [`sim`], [`reducer`], [`race`], [`hardness`]).
 //!
 //! ## From a racy program to an optimal reducer placement
 //!
@@ -99,6 +99,7 @@
 
 pub use rtt_core as core;
 pub use rtt_dag as dag;
+pub use rtt_engine as engine;
 pub use rtt_duration as duration;
 pub use rtt_flow as flow;
 pub use rtt_hardness as hardness;
