@@ -79,6 +79,9 @@ pub struct OneShotPoint {
 pub struct BatchPerfReport {
     /// Host cores (`std::thread::available_parallelism`).
     pub cores: usize,
+    /// Timed iterations per point (median taken) — recorded uniformly
+    /// across bench schemas since PR 3.
+    pub trials: usize,
     /// Distinct instances in the corpus.
     pub instances: usize,
     /// Requests per batch run.
@@ -243,6 +246,7 @@ pub fn measure(trials: usize, smoke: bool) -> BatchPerfReport {
 
     BatchPerfReport {
         cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        trials: trials.max(1),
         instances: n_instances,
         requests: requests_n,
         reports: reports_n,
@@ -327,6 +331,7 @@ impl BatchPerfReport {
         out.push_str("  \"schema\": \"rtt-bench/batch-v1\",\n");
         out.push_str("  \"pr\": 2,\n");
         out.push_str(&format!("  \"cores\": {},\n", self.cores));
+        out.push_str(&format!("  \"trials\": {},\n", self.trials));
         out.push_str(
             "  \"note\": \"thread scaling is bounded by cores; determinism, cache, and parity are measured in the same binary (crates/bench/src/batch_perf.rs)\",\n",
         );

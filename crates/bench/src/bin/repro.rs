@@ -8,6 +8,7 @@
 //! repro spdp lp        # §3.4 DP scaling, §3.1 LP quality
 //! repro bench-pr1 [--out PATH] [--smoke]   # perf baseline → BENCH_pr1.json
 //! repro bench-pr2 [--out PATH] [--smoke]   # batch engine baseline → BENCH_pr2.json
+//! repro bench-pr3 [--out PATH] [--smoke]   # revised simplex + warm sweeps → BENCH_pr3.json
 //! ```
 
 use rtt_bench::experiments as exp;
@@ -60,11 +61,19 @@ fn run_bench_pr2(args: &[String], trials: usize) {
     write_bench(&out_path, &report.render(), &report.to_json());
 }
 
+/// Runs the PR-3 revised-simplex/warm-sweep baseline and writes the
+/// JSON document.
+fn run_bench_pr3(args: &[String], trials: usize) {
+    let (out_path, smoke) = bench_flags("bench-pr3", "BENCH_pr3.json", args);
+    let report = rtt_bench::curve_perf::measure(trials, smoke);
+    write_bench(&out_path, &report.render(), &report.to_json());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro [all|table1|table2|table3|fig1|fig2|fig3|fig45|fig67|fig89|fig1011|fig1214|fig1516|fig1718|spdp|lp|regimes|alpha|bench-pr1|bench-pr2] ..."
+            "usage: repro [all|table1|table2|table3|fig1|fig2|fig3|fig45|fig67|fig89|fig1011|fig1214|fig1516|fig1718|spdp|lp|regimes|alpha|bench-pr1|bench-pr2|bench-pr3] ..."
         );
         std::process::exit(2);
     }
@@ -82,8 +91,15 @@ fn main() {
         run_bench_pr2(&args[1..], trials);
         return;
     }
-    if args.iter().any(|a| a == "bench-pr1" || a == "bench-pr2") {
-        eprintln!("bench-pr1/bench-pr2 must be the first argument (they take their own flags)");
+    if args[0] == "bench-pr3" {
+        run_bench_pr3(&args[1..], trials);
+        return;
+    }
+    if args
+        .iter()
+        .any(|a| a == "bench-pr1" || a == "bench-pr2" || a == "bench-pr3")
+    {
+        eprintln!("bench-pr1/bench-pr2/bench-pr3 must be the first argument (they take their own flags)");
         std::process::exit(2);
     }
     for arg in &args {

@@ -1,0 +1,305 @@
+//! The PR-3 perf baseline: machine-readable evidence for the sparse
+//! revised simplex and warm-started budget sweeps.
+//!
+//! `repro bench-pr3 [--out PATH] [--smoke]` measures, **in the same
+//! binary** (all three engines stay in-tree, per the ROADMAP perf
+//! protocol):
+//!
+//! * the `bicriteria_thm34` pipeline (LP 6–10 → α-rounding → min-flow)
+//!   under `Engine::Revised` vs `Engine::Flat` vs `Engine::Reference`,
+//!   per size, with pivot counts, **materialized row counts** (the
+//!   revised engine handles per-edge capacity bounds implicitly and
+//!   must show the row deletion), and pairwise objective deltas;
+//! * a ≥16-point budget **sweep** on the largest instance: one
+//!   warm-started chain ([`rtt_core::solve_min_makespan_sweep`]) vs the
+//!   same grid as independent cold solves, with per-point objective
+//!   agreement and total pivot counts.
+//!
+//! The output lands in `BENCH_pr3.json` at the repo root. Like every
+//! bench schema since PR 3, the document records `cores` and `trials`.
+
+use crate::perf::race_instance;
+use rtt_core::lp_build::{solve_min_makespan_lp_with, solve_min_makespan_sweep};
+use rtt_core::solve_bicriteria_with;
+use rtt_core::transform::expand_two_tuples;
+use rtt_lp::Engine;
+use std::time::Instant;
+
+/// One engine-comparison size point.
+#[derive(Debug, Clone)]
+pub struct EnginePoint {
+    /// Race-DAG node count before normalization.
+    pub nodes: usize,
+    /// `D''` LP variable count (flows + times).
+    pub lp_vars: usize,
+    /// Median pipeline wall-time per engine (ms).
+    pub revised_ms: f64,
+    /// See [`EnginePoint::revised_ms`].
+    pub flat_ms: f64,
+    /// See [`EnginePoint::revised_ms`].
+    pub reference_ms: f64,
+    /// Simplex work per engine (pivots incl. bound flips for revised).
+    pub pivots_revised: usize,
+    /// See [`EnginePoint::pivots_revised`].
+    pub pivots_flat: usize,
+    /// Constraint rows the revised engine materialized.
+    pub rows_revised: usize,
+    /// Constraint rows the flat engine materialized (`rows_revised` +
+    /// one per bounded edge).
+    pub rows_flat: usize,
+    /// Upper-bounded columns (= deleted bound rows).
+    pub bound_cols: usize,
+    /// Max pairwise LP-objective delta across the three engines.
+    pub objective_delta: f64,
+}
+
+/// The warm-vs-cold sweep measurement.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Node count of the swept instance.
+    pub nodes: usize,
+    /// Number of grid points.
+    pub grid: usize,
+    /// Median wall of the grid as independent cold solves (ms).
+    pub cold_ms: f64,
+    /// Median wall of the grid as one warm-started chain (ms).
+    pub warm_ms: f64,
+    /// Total simplex pivots, cold grid.
+    pub cold_pivots: usize,
+    /// Total simplex pivots, warm chain.
+    pub warm_pivots: usize,
+    /// Max per-point |warm − cold| LP objective delta.
+    pub max_objective_delta: f64,
+}
+
+/// The full PR-3 measurement set.
+#[derive(Debug, Clone)]
+pub struct CurvePerfReport {
+    /// Host cores (`std::thread::available_parallelism`).
+    pub cores: usize,
+    /// Timed iterations per point (median taken).
+    pub trials: usize,
+    /// Engine comparison, ascending size.
+    pub engines: Vec<EnginePoint>,
+    /// Warm-vs-cold sweep.
+    pub sweep: SweepPoint,
+}
+
+fn median_ms<T>(trials: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..trials.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Runs every measurement. Sizes shrink under `smoke` (CI).
+pub fn measure(trials: usize, smoke: bool) -> CurvePerfReport {
+    let node_sizes: &[usize] = if smoke { &[8] } else { &[8, 16, 32] };
+    let budget = 16u64;
+    let mut engines = Vec::new();
+    for &nodes in node_sizes {
+        let arc = race_instance(nodes as u64, nodes);
+        let tt = expand_two_tuples(&arc);
+        let rev = solve_min_makespan_lp_with(&tt, budget, Engine::Revised).expect("LP feasible");
+        let flat = solve_min_makespan_lp_with(&tt, budget, Engine::Flat).expect("LP feasible");
+        let refr =
+            solve_min_makespan_lp_with(&tt, budget, Engine::Reference).expect("LP feasible");
+        let objective_delta = (rev.makespan - flat.makespan)
+            .abs()
+            .max((rev.makespan - refr.makespan).abs())
+            .max((flat.makespan - refr.makespan).abs());
+        let time = |engine: Engine| {
+            median_ms(trials, || {
+                solve_bicriteria_with(&arc, budget, 0.5, engine).unwrap()
+            })
+        };
+        engines.push(EnginePoint {
+            nodes,
+            lp_vars: tt.dag.edge_count() + tt.dag.node_count() - 1,
+            revised_ms: time(Engine::Revised),
+            flat_ms: time(Engine::Flat),
+            reference_ms: time(Engine::Reference),
+            pivots_revised: rev.pivots,
+            pivots_flat: flat.pivots,
+            rows_revised: rev.stats.rows,
+            rows_flat: flat.stats.rows,
+            bound_cols: rev.stats.bound_cols,
+            objective_delta,
+        });
+    }
+
+    // --- warm-vs-cold sweep on the largest size
+    let nodes = *node_sizes.last().expect("non-empty sizes");
+    let arc = race_instance(nodes as u64, nodes);
+    let tt = expand_two_tuples(&arc);
+    let grid: Vec<u64> = (0..16).map(|i| i * 2).collect();
+    let warm_res = solve_min_makespan_sweep(&tt, &grid).expect("sweep feasible");
+    let cold_res: Vec<_> = grid
+        .iter()
+        .map(|&b| solve_min_makespan_lp_with(&tt, b, Engine::Revised).expect("LP feasible"))
+        .collect();
+    let max_objective_delta = warm_res
+        .iter()
+        .zip(&cold_res)
+        .map(|(w, c)| (w.makespan - c.makespan).abs())
+        .fold(0.0f64, f64::max);
+    let warm_ms = median_ms(trials, || solve_min_makespan_sweep(&tt, &grid).unwrap());
+    let cold_ms = median_ms(trials, || {
+        grid.iter()
+            .map(|&b| solve_min_makespan_lp_with(&tt, b, Engine::Revised).unwrap())
+            .collect::<Vec<_>>()
+    });
+    let sweep = SweepPoint {
+        nodes,
+        grid: grid.len(),
+        cold_ms,
+        warm_ms,
+        cold_pivots: cold_res.iter().map(|f| f.pivots).sum(),
+        warm_pivots: warm_res.iter().map(|f| f.pivots).sum(),
+        max_objective_delta,
+    };
+
+    CurvePerfReport {
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        trials,
+        engines,
+        sweep,
+    }
+}
+
+impl CurvePerfReport {
+    /// Renders the machine-readable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"rtt-bench/curve-v1\",\n");
+        out.push_str("  \"pr\": 3,\n");
+        out.push_str(&format!("  \"cores\": {},\n", self.cores));
+        out.push_str(&format!("  \"trials\": {},\n", self.trials));
+        out.push_str(
+            "  \"note\": \"revised vs flat vs reference measured in the same binary; see crates/bench/src/curve_perf.rs\",\n",
+        );
+        let rev_total: f64 = self.engines.iter().map(|p| p.revised_ms).sum();
+        let flat_total: f64 = self.engines.iter().map(|p| p.flat_ms).sum();
+        out.push_str(&format!(
+            "  \"bicriteria_thm34_group_speedup_vs_flat\": {:.2},\n",
+            flat_total / rev_total.max(1e-9)
+        ));
+        out.push_str("  \"bicriteria_thm34\": [\n");
+        for (i, p) in self.engines.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"nodes\": {}, \"lp_vars\": {}, \"revised_ms\": {:.3}, \"flat_ms\": {:.3}, \"reference_ms\": {:.3}, \"speedup_vs_flat\": {:.2}, \"speedup_vs_reference\": {:.2}, \"pivots_revised\": {}, \"pivots_flat\": {}, \"rows_revised\": {}, \"rows_flat\": {}, \"bound_cols\": {}, \"objective_delta\": {:.2e}}}{}\n",
+                p.nodes,
+                p.lp_vars,
+                p.revised_ms,
+                p.flat_ms,
+                p.reference_ms,
+                p.flat_ms / p.revised_ms.max(1e-9),
+                p.reference_ms / p.revised_ms.max(1e-9),
+                p.pivots_revised,
+                p.pivots_flat,
+                p.rows_revised,
+                p.rows_flat,
+                p.bound_cols,
+                p.objective_delta,
+                if i + 1 == self.engines.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        let s = &self.sweep;
+        out.push_str(&format!(
+            "  \"budget_sweep\": {{\"nodes\": {}, \"grid_points\": {}, \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"speedup\": {:.2}, \"cold_pivots\": {}, \"warm_pivots\": {}, \"max_objective_delta\": {:.2e}}}\n",
+            s.nodes,
+            s.grid,
+            s.cold_ms,
+            s.warm_ms,
+            s.cold_ms / s.warm_ms.max(1e-9),
+            s.cold_pivots,
+            s.warm_pivots,
+            s.max_objective_delta,
+        ));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders a human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut t = crate::table::TextTable::new(&[
+            "nodes",
+            "revised ms",
+            "flat ms",
+            "reference ms",
+            "vs flat",
+            "rows (rev/flat)",
+            "pivots (rev/flat)",
+        ]);
+        for p in &self.engines {
+            t.row(vec![
+                p.nodes.to_string(),
+                format!("{:.3}", p.revised_ms),
+                format!("{:.3}", p.flat_ms),
+                format!("{:.3}", p.reference_ms),
+                format!("{:.2}x", p.flat_ms / p.revised_ms.max(1e-9)),
+                format!("{}/{}", p.rows_revised, p.rows_flat),
+                format!("{}/{}", p.pivots_revised, p.pivots_flat),
+            ]);
+        }
+        let s = &self.sweep;
+        format!(
+            "==== bench-pr3 (cores = {}, trials = {}) ====\n{}\
+             sweep ({} nodes, {} points): warm {:.2} ms vs cold {:.2} ms ({:.2}x); \
+             pivots {} vs {}; max objective delta {:.2e}\n",
+            self.cores,
+            self.trials,
+            t.render(),
+            s.nodes,
+            s.grid,
+            s.warm_ms,
+            s.cold_ms,
+            s.cold_ms / s.warm_ms.max(1e-9),
+            s.warm_pivots,
+            s.cold_pivots,
+            s.max_objective_delta,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_measurement_is_consistent_and_serializes() {
+        let r = measure(1, true);
+        assert!(!r.engines.is_empty());
+        for p in &r.engines {
+            assert!(p.objective_delta < 1e-9, "engines disagree: {p:?}");
+            assert_eq!(
+                p.rows_flat,
+                p.rows_revised + p.bound_cols,
+                "implicit bounds must delete one row per bounded edge: {p:?}"
+            );
+            assert!(p.bound_cols > 0, "race instances have two-tuple arcs");
+        }
+        assert!(
+            r.sweep.max_objective_delta < 1e-9,
+            "warm and cold sweeps must agree: {:?}",
+            r.sweep
+        );
+        assert!(
+            r.sweep.warm_pivots < r.sweep.cold_pivots,
+            "the warm chain must pivot less: {:?}",
+            r.sweep
+        );
+        let json = r.to_json();
+        assert!(json.contains("\"bicriteria_thm34\""));
+        assert!(json.contains("\"budget_sweep\""));
+        assert!(json.contains("\"cores\""));
+        assert!(json.ends_with("}\n"));
+        assert!(r.render().contains("bench-pr3"));
+    }
+}

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod batch_perf;
+pub mod curve_perf;
 pub mod experiments;
 pub mod perf;
 pub mod table;

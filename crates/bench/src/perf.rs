@@ -63,6 +63,10 @@ pub struct SpDpPoint {
 /// The full PR-1 measurement set.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
+    /// Host cores (`std::thread::available_parallelism`) — recorded in
+    /// every bench schema since PR 3 so numbers are never quoted
+    /// without the machine's core count.
+    pub cores: usize,
     /// Timed iterations per point (median taken).
     pub trials: usize,
     /// Pipeline measurements.
@@ -84,8 +88,10 @@ fn median_ms<T>(trials: usize, mut f: impl FnMut() -> T) -> f64 {
     samples[samples.len() / 2]
 }
 
-/// Same construction as `benches/solvers.rs::race_instance`.
-fn race_instance(seed: u64, nodes: usize) -> ArcInstance {
+/// Same construction as `benches/solvers.rs::race_instance`. Public:
+/// `curve_perf` (bench-pr3) and the deterministic perf-guard test pin
+/// their counters to these exact seeded instances.
+pub fn race_instance(seed: u64, nodes: usize) -> ArcInstance {
     let mut rng = StdRng::seed_from_u64(seed);
     let tt = gen::random_race_dag(&mut rng, nodes, nodes * 2);
     let mut g = rtt_dag::Dag::new();
@@ -100,8 +106,9 @@ fn race_instance(seed: u64, nodes: usize) -> ArcInstance {
     to_arc_form(&inst).0
 }
 
-/// Same construction as `benches/solvers.rs::sp_instance`.
-fn sp_instance(seed: u64, leaves: usize) -> ArcInstance {
+/// Same construction as `benches/solvers.rs::sp_instance` (public for
+/// the same reasons as [`race_instance`]).
+pub fn sp_instance(seed: u64, leaves: usize) -> ArcInstance {
     let mut rng = StdRng::seed_from_u64(seed);
     let gsp = gen::random_sp(&mut rng, leaves);
     let mut g: rtt_dag::Dag<(), Activity> = rtt_dag::Dag::new();
@@ -177,6 +184,7 @@ pub fn measure(trials: usize, smoke: bool) -> PerfReport {
     }
 
     PerfReport {
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
         trials,
         bicriteria,
         sp_dp,
@@ -189,6 +197,7 @@ impl PerfReport {
         let mut out = String::from("{\n");
         out.push_str("  \"schema\": \"rtt-bench/perf-v1\",\n");
         out.push_str("  \"pr\": 1,\n");
+        out.push_str(&format!("  \"cores\": {},\n", self.cores));
         out.push_str(&format!("  \"trials\": {},\n", self.trials));
         out.push_str(
             "  \"note\": \"flat vs reference measured in the same binary; see crates/bench/src/perf.rs\",\n",

@@ -87,6 +87,40 @@ impl Args {
     }
 }
 
+/// Parses a budget grid: either an inclusive range `a:b:step`
+/// (`0:16:2` → 0, 2, …, 16) or a comma list `a,b,c`. The grid is
+/// reported in the order given; ranges require `step ≥ 1` and `a ≤ b`.
+pub fn parse_budgets(spec: &str) -> Result<Vec<u64>, String> {
+    if spec.contains(':') {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() != 3 {
+            return Err(format!("budget range must be a:b:step, got {spec:?}"));
+        }
+        let parse = |s: &str, what: &str| -> Result<u64, String> {
+            s.parse()
+                .map_err(|_| format!("invalid {what} in budget range {spec:?}: {s:?}"))
+        };
+        let a = parse(parts[0], "start")?;
+        let b = parse(parts[1], "end")?;
+        let step = parse(parts[2], "step")?;
+        if step == 0 {
+            return Err("budget range step must be ≥ 1".into());
+        }
+        if a > b {
+            return Err(format!("budget range start {a} exceeds end {b}"));
+        }
+        Ok((a..=b).step_by(step as usize).collect())
+    } else {
+        spec.split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| format!("invalid budget in list {spec:?}: {s:?}"))
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +197,18 @@ mod tests {
             "missing required flag --budget"
         );
         assert!(parse_args(&["--".to_string()]).is_err());
+    }
+
+    #[test]
+    fn budget_grids_parse() {
+        assert_eq!(parse_budgets("0:16:4").unwrap(), vec![0, 4, 8, 12, 16]);
+        assert_eq!(parse_budgets("3:5:1").unwrap(), vec![3, 4, 5]);
+        assert_eq!(parse_budgets("7:7:2").unwrap(), vec![7]);
+        assert_eq!(parse_budgets("1,8,2").unwrap(), vec![1, 8, 2]);
+        assert_eq!(parse_budgets("9").unwrap(), vec![9]);
+        assert!(parse_budgets("4:2:1").is_err(), "start > end");
+        assert!(parse_budgets("0:4:0").is_err(), "zero step");
+        assert!(parse_budgets("0:4").is_err(), "two-part range");
+        assert!(parse_budgets("a,b").is_err());
     }
 }

@@ -178,6 +178,47 @@ fn parse_request_line(
     })
 }
 
+/// Renders one tradeoff-curve point as its canonical NDJSON line (no
+/// trailing newline) — the `rtt curve` wire format. Same rules as the
+/// batch report stream: no wall-clock fields, deterministic field
+/// order, one JSON document per line, points in budget-grid order.
+///
+/// ```json
+/// {"budget":4,"status":"solved","lp_makespan":2.5,"makespan":5,"budget_used":6,"makespan_factor":2.0,"resource_factor":2.0,"work":17}
+/// ```
+///
+/// `work` counts the simplex pivots the point cost; warm-chained points
+/// (every point after the first) typically report a small fraction of
+/// the first point's count. A non-`solved` report renders as
+/// `{"budget":…,"status":…,"detail":…}`.
+pub fn curve_line(budget: u64, r: &SolveReport) -> String {
+    let mut fields: Vec<(String, Json)> = vec![
+        ("budget".into(), Json::UInt(budget)),
+        ("status".into(), Json::Str(r.status.as_str().into())),
+    ];
+    if r.status == Status::Solved {
+        if let Some(x) = r.lp_makespan {
+            fields.push(("lp_makespan".into(), Json::Float(x)));
+        }
+        if let Some(m) = r.makespan {
+            fields.push(("makespan".into(), Json::UInt(m)));
+        }
+        if let Some(b) = r.budget_used {
+            fields.push(("budget_used".into(), Json::UInt(b)));
+        }
+        if let Some(x) = r.makespan_factor {
+            fields.push(("makespan_factor".into(), Json::Float(x)));
+        }
+        if let Some(x) = r.resource_factor {
+            fields.push(("resource_factor".into(), Json::Float(x)));
+        }
+        fields.push(("work".into(), Json::UInt(r.work)));
+    } else {
+        fields.push(("detail".into(), Json::Str(r.detail.clone())));
+    }
+    Json::Obj(fields).compact()
+}
+
 /// Renders one report as its canonical NDJSON line (no trailing
 /// newline). Deliberately excludes wall-clock fields — see the module
 /// docs on byte stability.

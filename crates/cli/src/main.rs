@@ -29,6 +29,7 @@ USAGE:
   rtt info <instance.json>
   rtt solve <instance.json> --budget B [--solver <name>] [--alpha A] [--plan]
   rtt min-resource <instance.json> --target T [--solver <name>] [--alpha A]
+  rtt curve <instance.json> --budgets a:b:step|a,b,c [--alpha A] [--out PATH]
   rtt batch <corpus.ndjson> [--threads N] [--solver all|<name>] [--out PATH]
   rtt solvers
   rtt regimes <instance.json> --budget B
@@ -188,6 +189,54 @@ fn cmd_min_resource(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `rtt curve`: the resource-time tradeoff curve over a budget grid,
+/// solved as one warm-started LP chain and emitted as NDJSON (one point
+/// per line, grid order — see `rtt_cli::batch::curve_line` for the wire
+/// format). Timing stays on stderr, like `rtt batch`.
+fn cmd_curve(args: &Args) -> Result<(), String> {
+    let arc = load(&instance_path(args)?)?;
+    let budgets = rtt_cli::args::parse_budgets(&args.require::<String>("budgets")?)?;
+    if budgets.is_empty() {
+        return Err("empty budget grid".into());
+    }
+    let alpha: f64 = args.flag("alpha")?.unwrap_or(0.5);
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(format!("--alpha must be in (0, 1), got {alpha}"));
+    }
+    let registry = Registry::standard();
+    let mut req = SolveRequest::sweep("curve", Arc::new(PreparedInstance::new(arc)), budgets.clone());
+    req.alpha = alpha;
+    let started = Instant::now();
+    let reports = execute_one(&registry, &req, Instant::now());
+    let wall = started.elapsed();
+    // a whole-curve failure yields one non-solved report; check status,
+    // not count, so a one-point grid fails the same way as a long one
+    if let Some(bad) = reports.iter().find(|r| r.status != Status::Solved) {
+        return Err(format!("curve failed: {}", bad.detail));
+    }
+    debug_assert_eq!(reports.len(), budgets.len(), "one solved report per budget");
+    let mut rendered = String::new();
+    for (b, report) in budgets.iter().zip(&reports) {
+        rendered.push_str(&rtt_cli::batch::curve_line(*b, report));
+        rendered.push('\n');
+    }
+    match args.flag::<String>("out")? {
+        Some(dest) => {
+            std::fs::write(&dest, &rendered).map_err(|e| format!("writing {dest}: {e}"))?
+        }
+        None => print!("{rendered}"),
+    }
+    let pivots: u64 = reports.iter().map(|r| r.work).sum();
+    eprintln!(
+        "curve: {} points in {:.1} ms ({} simplex pivots; {} on the cold first point)",
+        budgets.len(),
+        wall.as_secs_f64() * 1e3,
+        pivots,
+        reports.first().map_or(0, |r| r.work),
+    );
+    Ok(())
+}
+
 fn cmd_batch(args: &Args) -> Result<(), String> {
     let path = args
         .positional
@@ -298,6 +347,7 @@ fn run() -> Result<(), String> {
         Some("info") => cmd_info(&args),
         Some("solve") => cmd_solve(&args),
         Some("min-resource") => cmd_min_resource(&args),
+        Some("curve") => cmd_curve(&args),
         Some("batch") => cmd_batch(&args),
         Some("solvers") => cmd_solvers(),
         Some("regimes") => cmd_regimes(&args),

@@ -61,11 +61,13 @@ pub use regimes::{
     GlobalSchedule, NoReuseSolution, RegimeComparison,
 };
 pub use solution::{routing_plan, validate, Route, RoutingPlan, Solution, ValidationError};
+pub use lp_build::{solve_min_makespan_sweep, MakespanLp};
 pub use solvers::{
-    min_resource, min_resource_prepped, solve_bicriteria, solve_bicriteria_prepped,
-    solve_bicriteria_with, solve_kway_5approx, solve_kway_5approx_prepped,
-    solve_recbinary_4approx, solve_recbinary_4approx_prepped, solve_recbinary_improved,
-    solve_recbinary_improved_prepped, ApproxSolution, MinMakespan, SolveError,
+    bicriteria_round_prepped, min_resource, min_resource_prepped, solve_bicriteria,
+    solve_bicriteria_prepped, solve_bicriteria_with, solve_kway_5approx,
+    solve_kway_5approx_prepped, solve_recbinary_4approx, solve_recbinary_4approx_prepped,
+    solve_recbinary_improved, solve_recbinary_improved_prepped, ApproxSolution, MinMakespan,
+    SolveError,
 };
 pub use transform::{expand_two_tuples, to_arc_form, TwoTupleInstance};
 

@@ -6,7 +6,10 @@
 //!
 //! * (6) `f_e ≤ r_e` on two-tuple arcs — the linear duration relaxation
 //!   is only valid inside `[0, r_e]`; single-tuple arcs stay *uncapped*
-//!   so surplus resource can flow through for reuse down the path;
+//!   so surplus resource can flow through for reuse down the path.
+//!   These are variable bounds, not rows: the default revised engine
+//!   handles them implicitly (its row count excludes them entirely —
+//!   see [`FractionalSolution::stats`]);
 //! * (7) `T_u + t_e(f_e) ≤ T_v` with the Eq. 4/5 relaxation
 //!   `t_e(f) = t0 − (t0 − t1)·f/r_e`;
 //! * (8) flow conservation at internal vertices;
@@ -60,6 +63,11 @@ pub struct FractionalSolution {
     pub budget_used: f64,
     /// Simplex pivots (diagnostics).
     pub pivots: usize,
+    /// Engine dimensions and pivot phase split (see
+    /// [`rtt_lp::LpStats`]) — how many rows/columns the engine
+    /// materialized, and for the revised engine the proof that the
+    /// per-edge capacity rows (6) were handled implicitly.
+    pub stats: rtt_lp::LpStats,
 }
 
 fn clamp_time(t: Time) -> f64 {
@@ -75,6 +83,8 @@ struct LpShape {
     n_edges: usize,
     /// variable index of `T_v`, `None` for the source.
     time_var: Vec<Option<usize>>,
+    /// row index of each edge's precedence constraint (7), by edge id.
+    edge_row: Vec<usize>,
 }
 
 /// Shared constraint matrix of LP 6–10 (everything except the
@@ -93,6 +103,7 @@ fn build_shape(tt: &TwoTupleInstance) -> LpShape {
     }
     let mut p = Problem::minimize(next);
 
+    let mut edge_row = vec![usize::MAX; n_edges];
     for e in d.edge_refs() {
         let a = e.weight;
         // (6) capacity on two-tuple arcs
@@ -116,6 +127,7 @@ fn build_shape(tt: &TwoTupleInstance) -> LpShape {
         }
         // The destination is never the source (source has in-degree 0),
         // so `coeffs` always contains T_v.
+        edge_row[e.id.index()] = p.n_rows();
         p.add_ge(&coeffs, t0);
     }
 
@@ -140,17 +152,56 @@ fn build_shape(tt: &TwoTupleInstance) -> LpShape {
         problem: p,
         n_edges,
         time_var,
+        edge_row,
     }
+}
+
+/// The structural **crash basis** for LP 6–10: at zero flow the
+/// longest-path times satisfy every constraint, so phase 1 is
+/// unnecessary. Per non-source vertex, `T_v` goes basic in its
+/// *critical* (longest-path-tight) incoming precedence row; every other
+/// precedence row keeps its surplus basic (slack `= T_v − T_u − t0 ≥
+/// 0`), conservation rows keep a degenerate artificial at 0, and the
+/// budget row its slack. The revised engine verifies feasibility at
+/// install time, so this is an accelerator, never a correctness risk.
+fn crash_hints(
+    tt: &TwoTupleInstance,
+    problem: &Problem,
+    time_var: &[Option<usize>],
+    edge_row: &[usize],
+) -> rtt_lp::Basis {
+    use rtt_lp::revised::CrashVar;
+    let d = &tt.dag;
+    let mut hints = vec![CrashVar::Logical; problem.n_rows()];
+    let mut dist: Vec<f64> = vec![0.0; d.node_count()];
+    let topo = rtt_dag::topo_order(d).expect("instances are acyclic");
+    for &v in &topo {
+        let mut best: Option<(f64, rtt_dag::EdgeId)> = None;
+        for &e in d.in_edges(v) {
+            let t0 = clamp_time(d.edge(e).t0);
+            let cand = dist[d.src(e).index()] + t0;
+            if best.is_none_or(|(b, _)| cand > b) {
+                best = Some((cand, e));
+            }
+        }
+        if let Some((b, e)) = best {
+            dist[v.index()] = b;
+            if let Some(tv) = time_var[v.index()] {
+                hints[edge_row[e.index()]] = CrashVar::Structural(tv);
+            }
+        }
+    }
+    rtt_lp::revised::crash_basis(problem, &hints)
 }
 
 fn extract(
     tt: &TwoTupleInstance,
-    shape: &LpShape,
+    n_edges: usize,
+    time_var: &[Option<usize>],
     sol: rtt_lp::Solution,
 ) -> FractionalSolution {
-    let flows: Vec<f64> = sol.x[..shape.n_edges].to_vec();
-    let times: Vec<f64> = shape
-        .time_var
+    let flows: Vec<f64> = sol.x[..n_edges].to_vec();
+    let times: Vec<f64> = time_var
         .iter()
         .map(|tv| tv.map_or(0.0, |j| sol.x[j]))
         .collect();
@@ -167,6 +218,152 @@ fn extract(
         makespan,
         budget_used,
         pivots: sol.pivots,
+        stats: sol.stats,
+    }
+}
+
+/// LP 6–10 with the budget row **tagged**: built once per instance,
+/// re-solvable at any budget by rewriting a single right-hand side —
+/// which is exactly the shape-preserving change the revised engine's
+/// [`rtt_lp::Basis`] warm start accepts. A budget sweep through one
+/// `MakespanLp` dual-reoptimizes every point after the first instead of
+/// cold-starting `|grid|` solves.
+#[derive(Debug, Clone)]
+pub struct MakespanLp {
+    problem: Problem,
+    n_edges: usize,
+    time_var: Vec<Option<usize>>,
+    /// Row index of constraint (9); `None` when the source has no
+    /// out-edges (the LP is then budget-independent).
+    budget_row: Option<usize>,
+    sink: usize,
+    /// Row index of each edge's precedence row, for the crash below.
+    edge_row: Vec<usize>,
+    /// The longest-path crash basis (see [`crash_hints`]) — the revised
+    /// engine's start when no warmer basis is available. Lazy: the
+    /// dense engines never pay for it.
+    crash: std::sync::OnceLock<rtt_lp::Basis>,
+}
+
+impl MakespanLp {
+    /// Builds the template: shape, objective (10), and the budget row
+    /// (9) at a placeholder budget of 0.
+    pub fn new(tt: &TwoTupleInstance) -> Self {
+        let mut shape = build_shape(tt);
+        let budget_coeffs: Vec<(usize, f64)> = tt
+            .dag
+            .out_edges(tt.source)
+            .iter()
+            .map(|&e| (e.index(), 1.0))
+            .collect();
+        let budget_row = if budget_coeffs.is_empty() {
+            None
+        } else {
+            shape.problem.add_le(&budget_coeffs, 0.0);
+            Some(shape.problem.n_rows() - 1)
+        };
+        let t_sink = shape.time_var[tt.sink.index()].expect("sink is not the source");
+        shape.problem.set_objective(t_sink, 1.0);
+        MakespanLp {
+            problem: shape.problem,
+            n_edges: shape.n_edges,
+            time_var: shape.time_var,
+            budget_row,
+            sink: tt.sink.index(),
+            edge_row: shape.edge_row,
+            crash: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The longest-path crash basis, computed on first (Revised) use.
+    fn crash(&self, tt: &TwoTupleInstance) -> &rtt_lp::Basis {
+        self.crash
+            .get_or_init(|| crash_hints(tt, &self.problem, &self.time_var, &self.edge_row))
+    }
+
+    /// Points the budget row (9) at a new budget. No other row changes,
+    /// so a basis from the previous solve stays warm-start valid.
+    pub fn set_budget(&mut self, budget: Resource) {
+        if let Some(row) = self.budget_row {
+            self.problem.set_rhs(row, budget as f64);
+        }
+    }
+
+    fn extract_at(&self, tt: &TwoTupleInstance, sol: rtt_lp::Solution) -> FractionalSolution {
+        debug_assert_eq!(self.sink, tt.sink.index());
+        extract(tt, self.n_edges, &self.time_var, sol)
+    }
+
+    /// Solves at the budget most recently set, under `engine`. The
+    /// revised engine starts from the longest-path crash basis (phase 1
+    /// is skipped whenever the crash installs feasibly); the dense
+    /// engines run their ordinary two-phase solve.
+    pub fn solve_with(
+        &self,
+        tt: &TwoTupleInstance,
+        engine: Engine,
+    ) -> Result<FractionalSolution, LpError> {
+        if matches!(engine, Engine::Revised) {
+            return self.solve_warm(tt, None).map(|(f, _)| f);
+        }
+        match self.problem.solve_with(engine) {
+            Outcome::Optimal(s) => Ok(self.extract_at(tt, s)),
+            Outcome::Infeasible => Err(LpError::Infeasible),
+            Outcome::Unbounded => Err(LpError::Unbounded),
+        }
+    }
+
+    /// Solves at the budget most recently set with the revised engine,
+    /// warm-starting from `warm` (a basis this template returned
+    /// earlier; falls back to the longest-path crash basis when
+    /// `None`). Returns the solution plus the basis for the next link.
+    pub fn solve_warm(
+        &self,
+        tt: &TwoTupleInstance,
+        warm: Option<&rtt_lp::Basis>,
+    ) -> Result<(FractionalSolution, Option<rtt_lp::Basis>), LpError> {
+        let (out, basis) = self.problem.solve_revised_warm(Some(warm.unwrap_or(self.crash(tt))));
+        match out {
+            Outcome::Optimal(s) => Ok((self.extract_at(tt, s), basis)),
+            Outcome::Infeasible => Err(LpError::Infeasible),
+            Outcome::Unbounded => Err(LpError::Unbounded),
+        }
+    }
+
+    /// Solves a whole budget grid in **one chained solver session**
+    /// ([`rtt_lp::revised::solve_rhs_sweep`]): matrix, eta file, and
+    /// basis survive across points, so each point after the first costs
+    /// only its dual-reoptimization pivots. `start` seeds the first
+    /// point (the longest-path crash when `None`). Returns the
+    /// per-budget solutions in grid order plus the final basis.
+    pub fn solve_sweep(
+        &self,
+        tt: &TwoTupleInstance,
+        budgets: &[Resource],
+        start: Option<&rtt_lp::Basis>,
+    ) -> Result<(Vec<FractionalSolution>, Option<rtt_lp::Basis>), LpError> {
+        let Some(row) = self.budget_row else {
+            // budget-independent LP: every point is the same solve
+            let (frac, basis) = self.solve_warm(tt, start)?;
+            return Ok((vec![frac; budgets.len()], basis));
+        };
+        let rhs: Vec<f64> = budgets.iter().map(|&b| b as f64).collect();
+        let (outcomes, basis) = rtt_lp::revised::solve_rhs_sweep(
+            &self.problem,
+            row,
+            &rhs,
+            rtt_lp::PivotRule::Dantzig,
+            Some(start.unwrap_or(self.crash(tt))),
+        );
+        let mut points = Vec::with_capacity(outcomes.len());
+        for out in outcomes {
+            match out {
+                Outcome::Optimal(s) => points.push(self.extract_at(tt, s)),
+                Outcome::Infeasible => return Err(LpError::Infeasible),
+                Outcome::Unbounded => return Err(LpError::Unbounded),
+            }
+        }
+        Ok((points, basis))
     }
 }
 
@@ -175,36 +372,33 @@ pub fn solve_min_makespan_lp(
     tt: &TwoTupleInstance,
     budget: Resource,
 ) -> Result<FractionalSolution, LpError> {
-    solve_min_makespan_lp_with(tt, budget, Engine::Flat)
+    solve_min_makespan_lp_with(tt, budget, Engine::Revised)
 }
 
 /// [`solve_min_makespan_lp`] under an explicit simplex [`Engine`]
-/// (`Engine::Reference` reproduces the pre-rewrite baseline; used by
-/// `rtt_bench`'s `bench-pr1` differential timing).
+/// (`Engine::Flat` / `Engine::Reference` reproduce the earlier
+/// baselines; used by `rtt_bench`'s differential timing).
 pub fn solve_min_makespan_lp_with(
     tt: &TwoTupleInstance,
     budget: Resource,
     engine: Engine,
 ) -> Result<FractionalSolution, LpError> {
-    let mut shape = build_shape(tt);
-    // (9) budget at the source
-    let budget_coeffs: Vec<(usize, f64)> = tt
-        .dag
-        .out_edges(tt.source)
-        .iter()
-        .map(|&e| (e.index(), 1.0))
-        .collect();
-    if !budget_coeffs.is_empty() {
-        shape.problem.add_le(&budget_coeffs, budget as f64);
-    }
-    // (10) minimize T_t
-    let t_sink = shape.time_var[tt.sink.index()].expect("sink is not the source");
-    shape.problem.set_objective(t_sink, 1.0);
-    match shape.problem.solve_with(engine) {
-        Outcome::Optimal(s) => Ok(extract(tt, &shape, s)),
-        Outcome::Infeasible => Err(LpError::Infeasible),
-        Outcome::Unbounded => Err(LpError::Unbounded),
-    }
+    let mut lp = MakespanLp::new(tt);
+    lp.set_budget(budget);
+    lp.solve_with(tt, engine)
+}
+
+/// Solves LP 6–10 at every budget of `budgets` in **one warm-started
+/// chain**: the first point solves cold, each later point
+/// dual-reoptimizes from the previous optimal basis (the per-point cost
+/// collapses to a handful of pivots on fine grids — see
+/// `BENCH_pr3.json`). Results are returned in input order.
+pub fn solve_min_makespan_sweep(
+    tt: &TwoTupleInstance,
+    budgets: &[Resource],
+) -> Result<Vec<FractionalSolution>, LpError> {
+    let lp = MakespanLp::new(tt);
+    lp.solve_sweep(tt, budgets, None).map(|(points, _)| points)
 }
 
 /// The minimum-resource twin: minimize `Σ f(s,·)` subject to `T_t ≤ T`.
@@ -219,7 +413,7 @@ pub fn solve_min_resource_lp(
         shape.problem.set_objective(e.index(), 1.0);
     }
     match shape.problem.solve() {
-        Outcome::Optimal(s) => Ok(extract(tt, &shape, s)),
+        Outcome::Optimal(s) => Ok(extract(tt, shape.n_edges, &shape.time_var, s)),
         Outcome::Infeasible => Err(LpError::Infeasible),
         Outcome::Unbounded => Err(LpError::Unbounded),
     }
@@ -348,6 +542,51 @@ mod tests {
             Err(LpError::Infeasible)
         ));
         assert!(solve_min_resource_lp(&tt, 5).is_ok());
+    }
+
+    #[test]
+    fn sweep_matches_cold_solves_and_is_monotone() {
+        let tt = single_job();
+        let budgets: Vec<u64> = (0..=4).collect();
+        let sweep = solve_min_makespan_sweep(&tt, &budgets).unwrap();
+        assert_eq!(sweep.len(), budgets.len());
+        let mut prev = f64::INFINITY;
+        for (f, &b) in sweep.iter().zip(&budgets) {
+            let cold = solve_min_makespan_lp(&tt, b).unwrap();
+            assert!(
+                (f.makespan - cold.makespan).abs() < 1e-9,
+                "budget {b}: sweep {} vs cold {}",
+                f.makespan,
+                cold.makespan
+            );
+            assert!(f.makespan <= prev + 1e-9, "curve must be non-increasing");
+            prev = f.makespan;
+        }
+    }
+
+    #[test]
+    fn revised_engine_materializes_no_capacity_rows() {
+        // Constraint (6) rows exist only for the dense engines: the
+        // revised engine's row count must drop by exactly the number of
+        // upper-bounded (two-tuple) edges.
+        let tt = single_job();
+        let rev = solve_min_makespan_lp_with(&tt, 2, Engine::Revised).unwrap();
+        let flat = solve_min_makespan_lp_with(&tt, 2, Engine::Flat).unwrap();
+        let bounded_edges = tt
+            .dag
+            .edge_refs()
+            .filter(|e| e.weight.buy.is_some())
+            .count();
+        assert!(bounded_edges > 0, "instance has two-tuple arcs");
+        assert_eq!(rev.stats.bound_cols, bounded_edges);
+        assert_eq!(rev.stats.bound_rows, 0);
+        assert_eq!(flat.stats.bound_rows, bounded_edges);
+        assert_eq!(
+            flat.stats.rows,
+            rev.stats.rows + bounded_edges,
+            "implicit bounds must delete one row per bounded edge"
+        );
+        assert!((rev.makespan - flat.makespan).abs() < 1e-9);
     }
 
     #[test]

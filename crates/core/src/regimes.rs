@@ -386,6 +386,7 @@ fn extract_noreuse(
         makespan,
         budget_used,
         pivots: sol.pivots,
+        stats: sol.stats,
     }
 }
 

@@ -60,6 +60,9 @@ pub struct ApproxSolution {
     /// Simplex pivots the LP relaxation spent (0 for LP-free paths) —
     /// the pipeline's dominant work counter.
     pub lp_pivots: usize,
+    /// LP engine dimensions and pivot phase split
+    /// ([`rtt_lp::LpStats`]; all-zero for LP-free paths).
+    pub lp_stats: rtt_lp::LpStats,
 }
 
 impl ApproxSolution {
@@ -182,7 +185,7 @@ pub fn solve_bicriteria(
     budget: Resource,
     alpha: f64,
 ) -> Result<ApproxSolution, SolveError> {
-    solve_bicriteria_with(arc, budget, alpha, rtt_lp::Engine::Flat)
+    solve_bicriteria_with(arc, budget, alpha, rtt_lp::Engine::Revised)
 }
 
 /// [`solve_bicriteria`] under an explicit simplex engine. The rounding
@@ -211,9 +214,23 @@ pub fn solve_bicriteria_prepped(
     engine: rtt_lp::Engine,
 ) -> Result<ApproxSolution, SolveError> {
     let frac = solve_min_makespan_lp_with(tt, budget, engine)?;
+    Ok(bicriteria_round_prepped(arc, tt, frac, alpha))
+}
+
+/// The α-rounding + min-flow routing stage of Theorem 3.4 on a
+/// caller-supplied LP solution. Splitting the LP solve from the
+/// rounding lets a warm-started budget sweep (one LP chain) feed every
+/// point through the same certified rounding path — see
+/// `rtt_engine::solve_curve`.
+pub fn bicriteria_round_prepped(
+    arc: &ArcInstance,
+    tt: &TwoTupleInstance,
+    frac: FractionalSolution,
+    alpha: f64,
+) -> ApproxSolution {
     let lower = alpha_round(tt, &frac, alpha);
     let (used, tt_flows) = route_min_flow(tt, &lower);
-    Ok(finish_on_tt(arc, tt, frac, tt_flows, used, alpha))
+    finish_on_tt(arc, tt, frac, tt_flows, used, alpha)
 }
 
 /// Assembles the bi-criteria result from a `D''` routing.
@@ -256,6 +273,7 @@ fn finish_on_tt(
         lp_makespan: frac.makespan,
         lp_budget: frac.budget_used,
         lp_pivots: frac.pivots,
+        lp_stats: frac.stats,
         solution: Solution {
             arc_flows,
             edge_times,
@@ -325,6 +343,7 @@ pub fn solve_kway_5approx_prepped(
         lp_makespan: frac.makespan,
         lp_budget: frac.budget_used,
         lp_pivots: frac.pivots,
+        lp_stats: frac.stats,
         makespan_factor: 5.0,
         resource_factor: 1.0,
     })
@@ -391,6 +410,7 @@ pub fn solve_recbinary_4approx_prepped(
         lp_makespan: frac.makespan,
         lp_budget: frac.budget_used,
         lp_pivots: frac.pivots,
+        lp_stats: frac.stats,
         makespan_factor: 4.0,
         resource_factor: 1.0,
     })
@@ -459,6 +479,7 @@ pub fn solve_recbinary_improved_prepped(
         lp_makespan: frac.makespan,
         lp_budget: frac.budget_used,
         lp_pivots: frac.pivots,
+        lp_stats: frac.stats,
         makespan_factor: 14.0 / 5.0,
         resource_factor: 4.0 / 3.0,
     })

@@ -1,0 +1,181 @@
+//! The tradeoff-curve service: LP 6–10 at every budget of a grid,
+//! solved as **one warm-started chain**.
+//!
+//! This is the paper's actual object of study — the resource-time
+//! tradeoff *curve* — served as a first-class request instead of
+//! `|grid|` independent solves. The first point solves cold; every
+//! later point rewrites the budget row's RHS and dual-reoptimizes from
+//! the previous optimal basis (see `rtt_lp::revised`), which on fine
+//! grids collapses per-point cost to a handful of pivots
+//! (`BENCH_pr3.json` quantifies it). Each LP point is then α-rounded
+//! and min-flow routed through the same certified Theorem 3.4 stage as
+//! a single `bicriteria` solve, and validated before reporting.
+//!
+//! The chain's final basis is parked on the [`PreparedInstance`]
+//! ([`crate::prep::LpWarmState`]), so a later sweep on the same
+//! instance warm-starts across requests too.
+
+use crate::prep::PreparedInstance;
+use crate::request::{SolveRequest, SolveReport, Status};
+use rtt_core::lp_build::LpError;
+use rtt_core::{validate, Resource};
+
+/// One point of the tradeoff curve.
+#[derive(Debug, Clone)]
+pub struct CurvePoint {
+    /// The grid budget this point was solved at.
+    pub budget: Resource,
+    /// The LP relaxation's makespan (the curve's lower envelope).
+    pub lp_makespan: f64,
+    /// The LP relaxation's source outflow.
+    pub lp_budget: f64,
+    /// Rounded integral makespan (Theorem 3.4, `≤ lp_makespan/α`).
+    pub makespan: rtt_core::Time,
+    /// Rounded integral budget (`≤ budget/(1−α)`).
+    pub budget_used: Resource,
+    /// Simplex pivots this point cost — for warm points, the dual
+    /// reoptimization plus the primal polish.
+    pub pivots: usize,
+    /// Whether this point reused the previous point's basis.
+    pub warm: bool,
+}
+
+/// Solves the tradeoff curve for `prep` over `budgets` (in order) at
+/// rounding parameter `alpha`. One warm chain; per-point results carry
+/// both the LP envelope and the certified rounded solution.
+pub fn solve_curve(
+    prep: &PreparedInstance,
+    budgets: &[Resource],
+    alpha: f64,
+) -> Result<Vec<CurvePoint>, LpError> {
+    let arc = prep.arc();
+    let tt = prep.tt();
+    let mut state = prep.take_lp_warm();
+    let had_basis = state.basis.is_some();
+    let swept = state.lp.solve_sweep(tt, budgets, state.basis.as_ref());
+    let (points, basis) = match swept {
+        Ok(r) => r,
+        Err(e) => {
+            // park the template (basis cleared) before reporting
+            state.basis = None;
+            prep.put_lp_warm(state);
+            return Err(e);
+        }
+    };
+    state.basis = basis;
+    prep.put_lp_warm(state);
+    let mut out = Vec::with_capacity(budgets.len());
+    for (i, (frac, &budget)) in points.into_iter().zip(budgets).enumerate() {
+        let pivots = frac.pivots;
+        let (lp_makespan, lp_budget) = (frac.makespan, frac.budget_used);
+        let approx = rtt_core::bicriteria_round_prepped(arc, tt, frac, alpha);
+        validate(arc, &approx.solution).expect("curve rounding produced an invalid solution");
+        out.push(CurvePoint {
+            budget,
+            lp_makespan,
+            lp_budget,
+            makespan: approx.solution.makespan,
+            budget_used: approx.solution.budget_used,
+            pivots,
+            warm: i > 0 || had_basis,
+        });
+    }
+    Ok(out)
+}
+
+/// Expands a sweep request into per-point [`SolveReport`]s (one per
+/// budget, in grid order) — the executor's dispatch target for
+/// [`crate::Objective::MakespanSweep`].
+pub fn execute_sweep(req: &SolveRequest, budgets: &[Resource]) -> Vec<SolveReport> {
+    const SOLVER: &str = "bicriteria";
+    match solve_curve(&req.prepared, budgets, req.alpha) {
+        Ok(points) => points
+            .into_iter()
+            .map(|p| {
+                let mut r = SolveReport::new(req.id.clone(), SOLVER, Status::Solved, "");
+                r.makespan = Some(p.makespan);
+                r.budget_used = Some(p.budget_used);
+                r.lp_makespan = Some(p.lp_makespan);
+                r.lp_budget = Some(p.lp_budget);
+                r.makespan_factor = Some(1.0 / req.alpha);
+                r.resource_factor = Some(1.0 / (1.0 - req.alpha));
+                r.work = p.pivots as u64;
+                r
+            })
+            .collect(),
+        Err(LpError::Infeasible) => vec![SolveReport::new(
+            req.id.clone(),
+            SOLVER,
+            Status::Infeasible,
+            "curve LP infeasible",
+        )],
+        Err(e) => vec![SolveReport::new(
+            req.id.clone(),
+            SOLVER,
+            Status::Unsupported,
+            e.to_string(),
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtt_core::instance::Activity;
+    use rtt_core::ArcInstance;
+    use rtt_dag::Dag;
+    use rtt_duration::Duration;
+
+    fn chain() -> ArcInstance {
+        let mut g: Dag<(), Activity> = Dag::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, a, Activity::new(Duration::two_point(10, 4, 0)))
+            .unwrap();
+        g.add_edge(a, t, Activity::new(Duration::two_point(8, 4, 2)))
+            .unwrap();
+        ArcInstance::new(g).unwrap()
+    }
+
+    #[test]
+    fn curve_is_monotone_and_matches_single_solves() {
+        let prep = PreparedInstance::new(chain());
+        let budgets: Vec<u64> = (0..=8).collect();
+        let points = solve_curve(&prep, &budgets, 0.5).unwrap();
+        assert_eq!(points.len(), budgets.len());
+        assert!(!points[0].warm, "first point is cold");
+        assert!(points[1..].iter().all(|p| p.warm), "rest warm-chain");
+        let mut prev = f64::INFINITY;
+        for p in &points {
+            assert!(p.lp_makespan <= prev + 1e-9, "LP curve non-increasing");
+            prev = p.lp_makespan;
+            let cold =
+                rtt_core::lp_build::solve_min_makespan_lp(prep.tt(), p.budget).unwrap();
+            assert!(
+                (p.lp_makespan - cold.makespan).abs() < 1e-9,
+                "budget {}: warm {} vs cold {}",
+                p.budget,
+                p.lp_makespan,
+                cold.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn second_sweep_reuses_the_cached_basis() {
+        let prep = PreparedInstance::new(chain());
+        let budgets: Vec<u64> = (0..=4).collect();
+        let first = solve_curve(&prep, &budgets, 0.5).unwrap();
+        let second = solve_curve(&prep, &budgets, 0.5).unwrap();
+        assert!(
+            second[0].warm,
+            "the cached basis must warm even the first point of a later sweep"
+        );
+        for (a, b) in first.iter().zip(&second) {
+            assert!((a.lp_makespan - b.lp_makespan).abs() < 1e-9);
+            assert_eq!(a.makespan, b.makespan);
+            assert_eq!(a.budget_used, b.budget_used);
+        }
+    }
+}

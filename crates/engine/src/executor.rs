@@ -55,6 +55,30 @@ pub fn execute_one(
     queued_at: Instant,
 ) -> Vec<SolveReport> {
     let queue_wait = queued_at.elapsed();
+    // Sweeps are a whole-request service (one warm-started LP chain →
+    // one report per budget), dispatched before solver fan-out.
+    if let crate::Objective::MakespanSweep { budgets } = &req.objective {
+        if let Some(deadline) = req.deadline {
+            if queue_wait > deadline {
+                let mut r = SolveReport::new(
+                    req.id.clone(),
+                    "bicriteria",
+                    Status::DeadlineExpired,
+                    "deadline passed while queued",
+                );
+                r.queue_wait = queue_wait;
+                return vec![r];
+            }
+        }
+        let started = Instant::now();
+        let mut reports = crate::curve::execute_sweep(req, budgets);
+        let wall = started.elapsed();
+        for r in &mut reports {
+            r.wall = wall;
+            r.queue_wait = queue_wait;
+        }
+        return reports;
+    }
     // resolve the selection to concrete solvers first, so deadline
     // expiry yields the same report multiset a live run would
     let selected: Vec<&dyn crate::Solver> = match &req.solver {

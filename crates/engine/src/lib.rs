@@ -45,14 +45,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod curve;
 pub mod executor;
 pub mod prep;
 pub mod registry;
 pub mod request;
 pub mod solver;
 
+pub use curve::{solve_curve, CurvePoint};
 pub use executor::{execute_one, run_batch, BatchOutcome, BatchStats};
-pub use prep::{CacheStats, PrepCache, PreparedInstance};
+pub use prep::{CacheStats, LpWarmState, PrepCache, PreparedInstance};
 pub use registry::{canonical_name, Registry};
 pub use request::{Objective, SolveReport, SolveRequest, SolverSelection, Status};
 pub use solver::{Capability, Solver};

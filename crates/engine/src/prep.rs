@@ -19,6 +19,33 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+/// A cached LP warm-start seed: the makespan-LP template (budget row
+/// tagged) plus the optimal basis of the most recent sweep point.
+///
+/// # Warm-start invariants
+///
+/// The basis is valid for **any** budget on this instance: the
+/// template's constraint matrix depends only on the instance (which a
+/// `PreparedInstance` never mutates), and a budget change rewrites one
+/// right-hand side — exactly the change [`rtt_lp::Basis`] warm starts
+/// accept. The cache is therefore evicted only by replacement: each
+/// sweep leaves its final basis for the next. If the basis were ever
+/// stale (it cannot be today — the key is the instance itself), the LP
+/// engine's own shape/dual-feasibility checks would reject it and
+/// solve cold, so a bad cache degrades speed, never correctness.
+///
+/// Kept out of the per-request batch path on purpose: batch NDJSON is
+/// byte-stable across thread counts, and a *shared* warm chain would
+/// make report bytes depend on which worker got there first. Only the
+/// sweep/curve path — sequential within one request — reads it.
+#[derive(Debug)]
+pub struct LpWarmState {
+    /// The budget-row-tagged LP template.
+    pub lp: rtt_core::MakespanLp,
+    /// Optimal basis of the last solved sweep point.
+    pub basis: Option<rtt_lp::Basis>,
+}
+
 /// An instance plus its lazily computed, shareable preprocessing.
 #[derive(Debug)]
 pub struct PreparedInstance {
@@ -26,6 +53,7 @@ pub struct PreparedInstance {
     tt: OnceLock<TwoTupleInstance>,
     sp: OnceLock<Option<SpTree>>,
     topo: OnceLock<Vec<NodeId>>,
+    lp_warm: Mutex<Option<LpWarmState>>,
     /// Times a component accessor found its artifact already computed.
     reuses: AtomicU64,
     /// Times a component accessor had to compute its artifact.
@@ -40,6 +68,7 @@ impl PreparedInstance {
             tt: OnceLock::new(),
             sp: OnceLock::new(),
             topo: OnceLock::new(),
+            lp_warm: Mutex::new(None),
             reuses: AtomicU64::new(0),
             computes: AtomicU64::new(0),
         }
@@ -82,6 +111,37 @@ impl PreparedInstance {
             rtt_dag::topo_order(self.arc.dag()).expect("instances are acyclic")
         })
         .as_slice()
+    }
+
+    /// Takes the cached LP warm-start state (template + last basis),
+    /// building the template on first use. The caller runs its sweep on
+    /// it and is expected to [`PreparedInstance::put_lp_warm`] it back
+    /// with the final basis — see [`LpWarmState`] for the invariants.
+    /// Taking (rather than borrowing) keeps the lock scope tiny and
+    /// serializes concurrent sweeps onto disjoint templates.
+    pub fn take_lp_warm(&self) -> LpWarmState {
+        let mut slot = self.lp_warm.lock().expect("lp warm state poisoned");
+        match slot.take() {
+            Some(state) => {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                state
+            }
+            None => {
+                self.computes.fetch_add(1, Ordering::Relaxed);
+                drop(slot);
+                LpWarmState {
+                    lp: rtt_core::MakespanLp::new(self.tt()),
+                    basis: None,
+                }
+            }
+        }
+    }
+
+    /// Returns a sweep's final state to the cache so the next sweep on
+    /// this instance warm-starts from it.
+    pub fn put_lp_warm(&self, state: LpWarmState) {
+        let mut slot = self.lp_warm.lock().expect("lp warm state poisoned");
+        *slot = Some(state);
     }
 
     /// `(reuses, computes)` of the lazy artifacts so far.

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Duration as StdDuration;
 
 /// What a request asks for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Objective {
     /// Minimize the makespan under a resource budget `B` (§3 problems).
     MinMakespan {
@@ -18,6 +18,17 @@ pub enum Objective {
     MinResource {
         /// The makespan target.
         target: Time,
+    },
+    /// The resource-time **tradeoff curve**: min-makespan at every
+    /// budget of a grid, solved as one warm-started LP chain (the
+    /// revised engine dual-reoptimizes each point from the previous
+    /// basis). Produces one report per budget, in grid order. Not part
+    /// of the batch NDJSON wire format — a shared warm chain would make
+    /// report bytes depend on scheduling; `rtt curve` is its front end.
+    MakespanSweep {
+        /// The budget grid, in the order points should be solved and
+        /// reported.
+        budgets: Vec<Resource>,
     },
 }
 
@@ -90,6 +101,25 @@ impl SolveRequest {
         }
     }
 
+    /// A tradeoff-curve request: min-makespan at every budget of
+    /// `budgets`, solved by the bicriteria pipeline as one warm-started
+    /// LP chain (α = 0.5, no deadline, seed 0).
+    pub fn sweep(
+        id: impl Into<String>,
+        prepared: Arc<PreparedInstance>,
+        budgets: Vec<Resource>,
+    ) -> Self {
+        SolveRequest {
+            id: id.into(),
+            prepared,
+            objective: Objective::MakespanSweep { budgets },
+            alpha: 0.5,
+            solver: SolverSelection::Named("bicriteria".into()),
+            deadline: None,
+            seed: 0,
+        }
+    }
+
     /// Selects a single solver by name.
     pub fn with_solver(mut self, name: impl Into<String>) -> Self {
         self.solver = SolverSelection::Named(name.into());
@@ -156,6 +186,10 @@ pub struct SolveReport {
     /// Solver-specific work counter (simplex pivots, search nodes, DP
     /// cells — see each solver's docs).
     pub work: u64,
+    /// LP engine dimensions and pivot phase split, for pipelines that
+    /// solved an LP ([`rtt_lp::LpStats`]). Diagnostics only — like the
+    /// wall-clock fields it stays **off** the batch wire format.
+    pub lp_stats: Option<rtt_lp::LpStats>,
     /// Wall-clock time of the solve call itself.
     pub wall: StdDuration,
     /// Time the request spent queued before the solve started.
@@ -185,6 +219,7 @@ impl SolveReport {
             resource_factor: None,
             solution: None,
             work: 0,
+            lp_stats: None,
             wall: StdDuration::ZERO,
             queue_wait: StdDuration::ZERO,
         }

@@ -103,6 +103,7 @@ fn report_approx(req: &SolveRequest, solver: &'static str, a: ApproxSolution) ->
     r.makespan_factor = Some(a.makespan_factor);
     r.resource_factor = Some(a.resource_factor);
     r.work = a.lp_pivots as u64;
+    r.lp_stats = Some(a.lp_stats);
     r.solution = Some(a.solution);
     r
 }
@@ -124,6 +125,18 @@ fn unsupported_objective(req: &SolveRequest, solver: &'static str) -> SolveRepor
         solver,
         Status::Unsupported,
         "this solver only handles the min-makespan objective",
+    )
+}
+
+/// Sweeps are executed by the engine's curve service
+/// ([`crate::solve_curve`], dispatched in `execute_one`), never by an
+/// individual solver — a directly-invoked solver declines them.
+fn unsupported_sweep(req: &SolveRequest, solver: &'static str) -> SolveReport {
+    SolveReport::new(
+        req.id.clone(),
+        solver,
+        Status::Unsupported,
+        "budget sweeps run through the engine curve service, not a single solver",
     )
 }
 
@@ -167,6 +180,7 @@ impl Solver for ExactSolver {
         let arc = req.prepared.arc();
         let mut r = report_skeleton(req, self.name());
         match req.objective {
+            Objective::MakespanSweep { .. } => return unsupported_sweep(req, self.name()),
             Objective::MinMakespan { budget } => {
                 let ex = rtt_core::exact::solve_exact(arc, budget);
                 validate(arc, &ex.solution).expect("exact produced an invalid solution");
@@ -219,12 +233,13 @@ impl Solver for BicriteriaSolver {
         let arc = req.prepared.arc();
         let tt = req.prepared.tt();
         let result = match req.objective {
+            Objective::MakespanSweep { .. } => return unsupported_sweep(req, self.name()),
             Objective::MinMakespan { budget } => rtt_core::solve_bicriteria_prepped(
                 arc,
                 tt,
                 budget,
                 req.alpha,
-                rtt_lp::Engine::Flat,
+                rtt_lp::Engine::Revised,
             ),
             Objective::MinResource { target } => {
                 rtt_core::min_resource_prepped(arc, tt, target, req.alpha)
@@ -378,6 +393,7 @@ impl Solver for SpDpSolver {
             );
         };
         match req.objective {
+            Objective::MakespanSweep { .. } => unsupported_sweep(req, self.name()),
             Objective::MinMakespan { budget } => {
                 let (sp, sol) = solve_sp_exact_with_tree(arc, tree, budget);
                 let work = sp.curve.len() as u64 * tree.len() as u64;
@@ -451,6 +467,7 @@ impl Solver for NoReuseExactSolver {
         let arc = req.prepared.arc();
         let mut r = report_skeleton(req, self.name());
         match req.objective {
+            Objective::MakespanSweep { .. } => return unsupported_sweep(req, self.name()),
             Objective::MinMakespan { budget } => {
                 let sol = solve_noreuse_exact(arc, budget);
                 validate_noreuse(arc, &sol).expect("no-reuse solver produced invalid solution");

@@ -3,19 +3,31 @@
 //! §3.1 of the paper formulates the relaxed resource-time tradeoff as the
 //! linear program LP 6–10 (flow variables `f_e`, event times `T_v`,
 //! minimize `T_t`). The paper treats the LP solver as an oracle; this
-//! crate *is* that oracle: a dense two-phase primal simplex with
+//! crate *is* that oracle: three two-phase simplex engines behind one
+//! [`Problem`] model (`≤` / `=` / `≥` rows, per-variable upper bounds,
+//! infeasibility/unboundedness certificates, deterministic behaviour).
 //!
-//! * `≤` / `=` / `≥` rows and per-variable upper bounds,
-//! * a single-allocation **flat row-major tableau** with AXPY pivot
-//!   updates and a post-phase-1 column shrink (the module docs in
-//!   `simplex.rs` describe the layout),
-//! * selectable pivot rules ([`PivotRule`]): Dantzig pricing with a
-//!   Bland's-rule fallback for anti-cycling, or pure Bland,
-//! * infeasibility and unboundedness certificates,
-//! * deterministic behaviour (no randomization), small-tolerance
-//!   numerics suitable for the integral-data LPs the reduction produces,
-//! * the pre-rewrite solver preserved in [`reference`] for differential
-//!   testing and benchmark baselining ([`Engine`]).
+//! # Engine selection guide ([`Engine`])
+//!
+//! | engine | what it is | when to use it |
+//! |---|---|---|
+//! | [`Engine::Revised`] | sparse revised simplex ([`revised`]): CSC columns, **implicit upper bounds** (bound flips, no bound rows), eta-file basis updates with periodic refactorization, [`Basis`] warm starts | **the default** — fastest on the LP 6–10 network matrices, and the only engine that can warm-start budget sweeps |
+//! | [`Engine::Flat`] | dense flat-tableau simplex ([`simplex.rs` module docs](crate::Engine)) | measurable dense baseline; also the automatic numerical fallback when a revised refactorization goes singular |
+//! | [`Engine::Reference`] | the frozen pre-rewrite solver ([`reference`]) | differential testing and benchmark baselining only — never optimized, never the default |
+//!
+//! All engines run Dantzig pricing with a Bland's-rule fallback for
+//! anti-cycling ([`PivotRule`]); every [`Solution`] carries an
+//! [`LpStats`] with its matrix dimensions and pivot phase split.
+//!
+//! # Warm-start invariants
+//!
+//! A [`Basis`] returned by [`revised::solve_warm`] may be fed back only
+//! to a problem of **identical shape**: same variables, same rows in
+//! the same order with the same senses and coefficients — only
+//! right-hand sides may change (LP 6–10 at a new budget). The engine
+//! verifies the cheap invariants (dimensions, basic-set sanity, dual
+//! feasibility) and silently falls back to a cold solve otherwise, so a
+//! stale basis can cost time but never correctness.
 //!
 //! The solver is exact enough for the pipeline: every LP built by
 //! `rtt-core` has integer input data, and the rounding scheme of §3.1
@@ -42,10 +54,14 @@
 
 mod problem;
 pub mod reference;
+pub mod revised;
 mod simplex;
+mod stats;
 
 pub use problem::{Cmp, Problem, Row};
+pub use revised::Basis;
 pub use simplex::{Engine, Outcome, PivotRule, Solution};
+pub use stats::LpStats;
 
 /// Default feasibility/optimality tolerance.
 pub const TOL: f64 = 1e-8;

@@ -97,21 +97,44 @@ impl Problem {
         self.add_row(coeffs, Cmp::Ge, rhs);
     }
 
-    /// Solves the problem with the flat-tableau two-phase simplex
-    /// (Dantzig pricing with automatic Bland fallback).
+    /// Solves the problem with the default engine — the sparse revised
+    /// simplex ([`crate::revised`], Dantzig pricing with automatic
+    /// Bland fallback).
     pub fn solve(&self) -> Outcome {
-        solve_standard(self, PivotRule::Dantzig)
+        crate::revised::solve(self, PivotRule::Dantzig)
     }
 
-    /// Solves with an explicit engine: the flat solver under a chosen
-    /// [`PivotRule`], or the frozen pre-rewrite [`crate::reference`]
-    /// baseline (differential tests and perf baselining).
+    /// Solves with an explicit engine: the revised simplex (default),
+    /// the flat solver (optionally under a chosen [`PivotRule`]), or
+    /// the frozen pre-rewrite [`crate::reference`] baseline
+    /// (differential tests and perf baselining).
     pub fn solve_with(&self, engine: Engine) -> Outcome {
         match engine {
+            Engine::Revised => crate::revised::solve(self, PivotRule::Dantzig),
             Engine::Flat => solve_standard(self, PivotRule::Dantzig),
             Engine::FlatWith(rule) => solve_standard(self, rule),
             Engine::Reference => crate::reference::solve_reference(self),
         }
+    }
+
+    /// Solves with the revised engine, warm-starting from the optimal
+    /// [`crate::Basis`] of a previous solve of an identically-shaped
+    /// problem (only right-hand sides may differ — see the crate docs'
+    /// warm-start invariants). Returns the outcome plus the basis for
+    /// the next link of the chain.
+    pub fn solve_revised_warm(
+        &self,
+        warm: Option<&crate::Basis>,
+    ) -> (Outcome, Option<crate::Basis>) {
+        crate::revised::solve_warm(self, PivotRule::Dantzig, warm)
+    }
+
+    /// Overwrites the right-hand side of row `index` (for warm-started
+    /// re-solves where only one RHS changes, e.g. a budget sweep).
+    pub fn set_rhs(&mut self, index: usize, rhs: f64) {
+        assert!(index < self.rows.len(), "row {index} out of range");
+        assert!(rhs.is_finite(), "rhs must be finite");
+        self.rows[index].rhs = rhs;
     }
 
     /// Checks whether `x` satisfies every constraint (and bound) within

@@ -314,9 +314,20 @@ pub fn solve_reference(p: &Problem) -> Outcome {
         }
     }
     let objective = p.objective_at(&x);
+    // Dimension stats only (no phase split: the frozen baseline is not
+    // instrumented beyond what it always reported).
+    let n_bound_rows = p.upper.iter().filter(|u| u.is_some()).count();
     Outcome::Optimal(Solution {
         objective,
         x,
         pivots: t.pivots,
+        stats: crate::LpStats {
+            rows: m,
+            cols: n_cols,
+            bound_rows: n_bound_rows,
+            bound_cols: n_bound_rows,
+            phase2_pivots: t.pivots,
+            ..Default::default()
+        },
     })
 }

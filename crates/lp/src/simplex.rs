@@ -56,10 +56,22 @@ pub enum PivotRule {
 }
 
 /// Which solver implementation to run (see [`Problem::solve_with`]).
+///
+/// Selection guide: **`Revised`** (the default) is the sparse revised
+/// simplex with implicit upper bounds and warm-start support — use it
+/// unless you have a reason not to. **`Flat`** is the dense flat-tableau
+/// solver, kept as a measurable baseline and as the numerical fallback
+/// the revised engine restarts into when a refactorization goes
+/// singular. **`Reference`** is the frozen pre-rewrite solver: never
+/// optimized, only ever used for differential testing and benchmark
+/// baselining.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
-    /// The flat-tableau solver of this module.
+    /// The sparse revised simplex ([`crate::revised`]): CSC columns,
+    /// implicit upper bounds, eta-file basis updates.
     #[default]
+    Revised,
+    /// The dense flat-tableau solver of this module.
     Flat,
     /// The flat-tableau solver under a fixed pivot rule.
     FlatWith(PivotRule),
@@ -105,6 +117,8 @@ pub struct Solution {
     pub x: Vec<f64>,
     /// Simplex pivot count (diagnostics / benches).
     pub pivots: usize,
+    /// Dimension and phase counters (see [`crate::LpStats`]).
+    pub stats: crate::LpStats,
 }
 
 /// Entries with `|factor| ≤ SKIP_TOL` are treated as an exact zero when
@@ -392,6 +406,15 @@ pub(crate) fn solve_standard(p: &Problem, rule: PivotRule) -> Outcome {
         }
     }
 
+    let n_bound_rows = p.upper.iter().filter(|u| u.is_some()).count();
+    let mut stats = crate::LpStats {
+        rows: m,
+        cols: n_cols,
+        bound_rows: n_bound_rows,
+        bound_cols: n_bound_rows,
+        ..Default::default()
+    };
+
     // ---- Phase 1: minimize sum of artificials.
     if n_art > 0 {
         let is_art = |col: usize| col >= n_real;
@@ -441,6 +464,7 @@ pub(crate) fn solve_standard(p: &Problem, rule: PivotRule) -> Outcome {
         // are never extracted.
         t.active = n_real;
     }
+    stats.phase1_pivots = t.pivots;
 
     // ---- Phase 2: original objective.
     for j in 0..t.active {
@@ -477,10 +501,12 @@ pub(crate) fn solve_standard(p: &Problem, rule: PivotRule) -> Outcome {
         }
     }
     let objective = p.objective_at(&x);
+    stats.phase2_pivots = t.pivots - stats.phase1_pivots;
     Outcome::Optimal(Solution {
         objective,
         x,
         pivots: t.pivots,
+        stats,
     })
 }
 
@@ -489,8 +515,10 @@ mod tests {
     use super::*;
     use crate::Problem;
 
+    /// These are the *flat* engine's unit tests: pin the engine
+    /// explicitly, since `Problem::solve()` now defaults to Revised.
     fn opt(p: &Problem) -> Solution {
-        p.solve().expect_optimal("expected optimal")
+        p.solve_with(Engine::Flat).expect_optimal("expected optimal")
     }
 
     #[test]
@@ -550,7 +578,7 @@ mod tests {
         let mut p = Problem::minimize(1);
         p.add_ge(&[(0, 1.0)], 5.0);
         p.set_upper_bound(0, 1.0);
-        assert!(matches!(p.solve(), Outcome::Infeasible));
+        assert!(matches!(p.solve_with(Engine::Flat), Outcome::Infeasible));
     }
 
     #[test]
@@ -558,7 +586,7 @@ mod tests {
         let mut p = Problem::minimize(2);
         p.add_eq(&[(0, 1.0), (1, 1.0)], 1.0);
         p.add_eq(&[(0, 1.0), (1, 1.0)], 2.0);
-        assert!(matches!(p.solve(), Outcome::Infeasible));
+        assert!(matches!(p.solve_with(Engine::Flat), Outcome::Infeasible));
     }
 
     #[test]
@@ -567,7 +595,7 @@ mod tests {
         let mut p = Problem::minimize(1);
         p.set_objective(0, -1.0);
         p.add_ge(&[(0, 1.0)], 1.0);
-        assert!(matches!(p.solve(), Outcome::Unbounded));
+        assert!(matches!(p.solve_with(Engine::Flat), Outcome::Unbounded));
     }
 
     #[test]
@@ -659,7 +687,7 @@ mod tests {
         p.add_le(&[(0, 0.25), (1, -60.0), (2, -0.04)], 0.0);
         p.add_le(&[(0, 0.5), (1, -90.0), (2, -0.02)], 0.0);
         p.add_le(&[(2, 1.0)], 1.0);
-        let d = p.solve().expect_optimal("dantzig");
+        let d = p.solve_with(Engine::Flat).expect_optimal("dantzig");
         let b = p
             .solve_with(Engine::FlatWith(PivotRule::Bland))
             .expect_optimal("bland");
@@ -672,7 +700,7 @@ mod tests {
         p.set_objective(0, 1.0);
         p.add_ge(&[(0, 1.0), (1, 1.0)], 2.0);
         p.set_upper_bound(1, 1.0);
-        let flat = p.solve().expect_optimal("flat");
+        let flat = p.solve_with(Engine::Flat).expect_optimal("flat");
         let refr = p.solve_with(Engine::Reference).expect_optimal("reference");
         assert!((flat.objective - refr.objective).abs() < 1e-9);
     }

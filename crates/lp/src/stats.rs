@@ -1,0 +1,34 @@
+//! Solve statistics: tableau/matrix dimensions and pivot breakdowns.
+//!
+//! Every engine fills an [`LpStats`] into its [`crate::Solution`], so
+//! callers (and benches) can demonstrate structural claims — most
+//! importantly that the revised engine's **implicit bounds** delete one
+//! row per bounded variable: for the same [`crate::Problem`],
+//! `flat.stats.rows == revised.stats.rows + revised.stats.bound_cols`.
+
+/// Dimension and work counters of one LP solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LpStats {
+    /// Constraint rows the engine materialized. The flat/reference
+    /// engines add one row per upper-bounded variable; the revised
+    /// engine handles bounds implicitly and materializes none.
+    pub rows: usize,
+    /// Total columns (structural + logical + artificial).
+    pub cols: usize,
+    /// Upper-bound rows materialized (flat/reference) — always 0 for
+    /// the revised engine.
+    pub bound_rows: usize,
+    /// Variables with a finite upper bound (identical across engines;
+    /// for the revised engine these are handled by bound flips).
+    pub bound_cols: usize,
+    /// Pivots spent reaching feasibility (phase 1).
+    pub phase1_pivots: usize,
+    /// Pivots spent optimizing (phase 2, including any warm-start dual
+    /// pivots).
+    pub phase2_pivots: usize,
+    /// Bound flips (revised engine only): nonbasic variables moved
+    /// between their bounds without a basis change.
+    pub bound_flips: usize,
+    /// Basis refactorizations (revised engine only).
+    pub refactorizations: usize,
+}

@@ -10,7 +10,7 @@ use rtt_lp::{Cmp, Engine, Outcome, PivotRule, Problem, TOL};
 /// Objectives may differ only by tolerance-scale noise; verdicts must
 /// agree exactly.
 fn assert_engines_agree(p: &Problem, label: &str) {
-    let flat = p.solve();
+    let flat = p.solve_with(Engine::Flat);
     let reference = p.solve_with(Engine::Reference);
     match (&flat, &reference) {
         (Outcome::Optimal(f), Outcome::Optimal(r)) => {
@@ -158,7 +158,7 @@ fn flat_handles_lp_big_scale_exactly_like_reference() {
     p.add_le(&[(0, 1.0), (1, 1.0)], 1.0);
     p.set_upper_bound(0, 1.0);
     p.set_upper_bound(1, 1.0);
-    let f = p.solve().expect_optimal("flat");
+    let f = p.solve_with(Engine::Flat).expect_optimal("flat");
     let r = p.solve_with(Engine::Reference).expect_optimal("reference");
     assert!(
         (f.objective - r.objective).abs() <= 1e-9 * (1.0 + r.objective.abs()),
