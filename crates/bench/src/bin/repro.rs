@@ -9,6 +9,7 @@
 //! repro bench-pr1 [--out PATH] [--smoke]   # perf baseline → BENCH_pr1.json
 //! repro bench-pr2 [--out PATH] [--smoke]   # batch engine baseline → BENCH_pr2.json
 //! repro bench-pr3 [--out PATH] [--smoke]   # revised simplex + warm sweeps → BENCH_pr3.json
+//! repro bench-pr4 [--out PATH] [--smoke]   # race workloads, analytic vs simulated → BENCH_pr4.json
 //! ```
 
 use rtt_bench::experiments as exp;
@@ -40,11 +41,39 @@ fn bench_flags(name: &str, default_out: &str, args: &[String]) -> (String, bool)
 
 fn write_bench(out_path: &str, rendered: &str, json: &str) {
     println!("{rendered}");
+    // Every bench schema since PR 3 records `cores` and `trials` so
+    // numbers are never quoted without the machine they came from. An
+    // emitter that drops either field is schema drift (the original
+    // committed BENCH_pr1.json had exactly this bug) — refuse to write.
+    match rtt_cli::json::Json::parse(json) {
+        Ok(doc) => {
+            for field in ["cores", "trials"] {
+                if doc.get(field).is_none() {
+                    eprintln!(
+                        "refusing to write {out_path}: bench document is missing the \
+                         uniform `{field}` field (schema drift — fix the emitter)"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("refusing to write {out_path}: emitter produced invalid JSON: {e}");
+            std::process::exit(1);
+        }
+    }
     if let Err(e) = std::fs::write(out_path, json) {
         eprintln!("writing {out_path}: {e}");
         std::process::exit(1);
     }
     println!("wrote {out_path}");
+}
+
+/// Runs the PR-4 race-workload baseline and writes the JSON document.
+fn run_bench_pr4(args: &[String], trials: usize) {
+    let (out_path, smoke) = bench_flags("bench-pr4", "BENCH_pr4.json", args);
+    let report = rtt_bench::race_perf::measure(trials, smoke);
+    write_bench(&out_path, &report.render(), &report.to_json());
 }
 
 /// Runs the PR-1 perf baseline and writes the JSON document.
@@ -73,7 +102,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro [all|table1|table2|table3|fig1|fig2|fig3|fig45|fig67|fig89|fig1011|fig1214|fig1516|fig1718|spdp|lp|regimes|alpha|bench-pr1|bench-pr2|bench-pr3] ..."
+            "usage: repro [all|table1|table2|table3|fig1|fig2|fig3|fig45|fig67|fig89|fig1011|fig1214|fig1516|fig1718|spdp|lp|regimes|alpha|bench-pr1|bench-pr2|bench-pr3|bench-pr4] ..."
         );
         std::process::exit(2);
     }
@@ -95,11 +124,15 @@ fn main() {
         run_bench_pr3(&args[1..], trials);
         return;
     }
+    if args[0] == "bench-pr4" {
+        run_bench_pr4(&args[1..], trials);
+        return;
+    }
     if args
         .iter()
-        .any(|a| a == "bench-pr1" || a == "bench-pr2" || a == "bench-pr3")
+        .any(|a| a.starts_with("bench-pr"))
     {
-        eprintln!("bench-pr1/bench-pr2/bench-pr3 must be the first argument (they take their own flags)");
+        eprintln!("bench-pr* must be the first argument (they take their own flags)");
         std::process::exit(2);
     }
     for arg in &args {

@@ -12,6 +12,7 @@ pub mod batch_perf;
 pub mod curve_perf;
 pub mod experiments;
 pub mod perf;
+pub mod race_perf;
 pub mod table;
 
 pub use experiments::*;

@@ -1,0 +1,326 @@
+//! The PR-4 baseline: race-derived workloads served end to end, with
+//! analytic vs **simulated** tradeoff curves.
+//!
+//! `repro bench-pr4 [--out PATH] [--smoke]` drives the paper's
+//! motivating workload — the racy Figure 3 Parallel-MM, generated from
+//! the actual program via `rtt_race` → `rtt_core::from_race` — through
+//! the engine's warm-started curve service (the PR-3 path), and checks
+//! every analytic point against the §1 execution model:
+//!
+//! * per budget: the LP envelope, the rounded analytic makespan, and
+//!   the **simulated** finish of the reducer-expanded DAG
+//!   (`rtt_sim::exec::simulate_works`, Observation 1.1 — the engine's
+//!   certificate, surfaced as data);
+//! * warm-chain vs independent cold solves: wall and pivot counts, so
+//!   the PR-3 reuse claim is re-measured on the new workload;
+//! * a fork-join race program where staggered updates **pipeline**: the
+//!   simulated curve runs strictly below the analytic one
+//!   (`max_pipelining_gain > 0`), showing the certificate is not
+//!   vacuous. On Parallel-MM the two coincide — all output cells run in
+//!   one parallel layer, which is exactly where Observation 1.1 is
+//!   tight.
+//!
+//! The output lands in `BENCH_pr4.json` at the repo root. Like every
+//! bench schema since PR 3 the document records `cores` and `trials`.
+
+use rtt_core::ReducerFamily;
+use rtt_engine::{solve_curve, PreparedInstance};
+use rtt_lp::Engine;
+use std::time::Instant;
+
+/// One budget point: the analytic bound next to the simulated finish.
+#[derive(Debug, Clone)]
+pub struct RaceCurvePoint {
+    /// Budget of this grid point.
+    pub budget: u64,
+    /// LP relaxation makespan (lower envelope).
+    pub lp_makespan: f64,
+    /// Rounded analytic makespan (the certified upper bound).
+    pub makespan: u64,
+    /// Simulated finish of the reducer-expanded DAG (Observation 1.1:
+    /// `≤ makespan`).
+    pub simulated: u64,
+    /// Simplex pivots this point cost on the warm chain.
+    pub pivots: usize,
+}
+
+/// One workload's measurements.
+#[derive(Debug, Clone)]
+pub struct RaceWorkload {
+    /// Workload name (`parallel-mm-<n>` / `forkjoin-<seed>`).
+    pub name: String,
+    /// Job count of the instance (arc-form activities).
+    pub jobs: usize,
+    /// Curve points, in grid order.
+    pub points: Vec<RaceCurvePoint>,
+    /// Median wall of the warm-chained curve (ms).
+    pub warm_ms: f64,
+    /// Median wall of the same grid as independent cold solves (ms).
+    pub cold_ms: f64,
+    /// Total pivots, warm chain.
+    pub warm_pivots: usize,
+    /// Total pivots, cold grid.
+    pub cold_pivots: usize,
+    /// Largest `makespan − simulated` over the grid (update pipelining
+    /// below the analytic bound).
+    pub max_pipelining_gain: u64,
+}
+
+/// The full PR-4 measurement set.
+#[derive(Debug, Clone)]
+pub struct RacePerfReport {
+    /// Host cores (`std::thread::available_parallelism`).
+    pub cores: usize,
+    /// Timed iterations per point (median taken).
+    pub trials: usize,
+    /// Parallel-MM sweeps, ascending size, then the fork-join workload.
+    pub workloads: Vec<RaceWorkload>,
+}
+
+fn median_ms<T>(trials: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..trials.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn measure_workload(
+    name: String,
+    arc: rtt_core::ArcInstance,
+    grid: &[u64],
+    trials: usize,
+) -> RaceWorkload {
+    let jobs = arc.dag().edge_count();
+    let prep = PreparedInstance::new(arc.clone());
+    let curve = solve_curve(&prep, grid, 0.5).expect("race curve LP feasible");
+    let points: Vec<RaceCurvePoint> = curve
+        .iter()
+        .map(|p| {
+            let sim = p.sim.expect("race workloads are finite and simulable");
+            assert!(
+                sim.simulated <= p.makespan,
+                "{name}: Observation 1.1 violated at budget {}",
+                p.budget
+            );
+            RaceCurvePoint {
+                budget: p.budget,
+                lp_makespan: p.lp_makespan,
+                makespan: p.makespan,
+                simulated: sim.simulated,
+                pivots: p.pivots,
+            }
+        })
+        .collect();
+    let warm_pivots: usize = points.iter().map(|p| p.pivots).sum();
+    // fresh PreparedInstance per timed run: the parked basis must not
+    // leak a warm start into the "cold" baseline or double-warm the
+    // chain being measured
+    let warm_ms = median_ms(trials, || {
+        solve_curve(&PreparedInstance::new(arc.clone()), grid, 0.5).unwrap()
+    });
+    let tt = rtt_core::expand_two_tuples(&arc);
+    let cold = |b: u64| {
+        let sol = rtt_core::solve_bicriteria_with(&arc, b, 0.5, Engine::Revised).unwrap();
+        rtt_engine::certify_solution(&arc, &sol.solution).expect("simulable");
+        sol
+    };
+    let cold_pivots: usize = grid
+        .iter()
+        .map(|&b| {
+            rtt_core::lp_build::solve_min_makespan_lp_with(&tt, b, Engine::Revised)
+                .expect("LP feasible")
+                .pivots
+        })
+        .sum();
+    let cold_ms = median_ms(trials, || grid.iter().map(|&b| cold(b)).collect::<Vec<_>>());
+    let max_pipelining_gain = points
+        .iter()
+        .map(|p| p.makespan - p.simulated)
+        .max()
+        .unwrap_or(0);
+    RaceWorkload {
+        name,
+        jobs,
+        points,
+        warm_ms,
+        cold_ms,
+        warm_pivots,
+        cold_pivots,
+        max_pipelining_gain,
+    }
+}
+
+/// Runs every measurement. Sizes shrink under `smoke` (CI).
+pub fn measure(trials: usize, smoke: bool) -> RacePerfReport {
+    let mm_sizes: &[u64] = if smoke { &[4] } else { &[4, 8, 12] };
+    let mut workloads = Vec::new();
+    for &n in mm_sizes {
+        let arc = rtt_cli::race_mm_spec(n, ReducerFamily::RecursiveBinary)
+            .expect("n ≥ 1")
+            .build()
+            .expect("race-mm builds");
+        // height-1 reducers on every Z cell cost 2n²; sweep past it
+        let full = 2 * n * n;
+        let step = (full / 8).max(1);
+        let grid: Vec<u64> = (0..=full + step).step_by(step as usize).collect();
+        workloads.push(measure_workload(format!("parallel-mm-{n}"), arc, &grid, trials));
+    }
+    // the pipelining witness: staged fork-join contention
+    let (fj_seed, fj_stages, fj_width) = if smoke { (5u64, 2, 3) } else { (5u64, 4, 6) };
+    let arc = rtt_cli::race_forkjoin_spec(fj_seed, fj_stages, fj_width, 12, ReducerFamily::RecursiveBinary)
+        .expect("valid shape")
+        .build()
+        .expect("race-forkjoin builds");
+    let sat = arc.saturation_budget();
+    let step = (sat / 8).max(1);
+    let grid: Vec<u64> = (0..=sat).step_by(step as usize).collect();
+    workloads.push(measure_workload(
+        format!("forkjoin-{fj_seed}"),
+        arc,
+        &grid,
+        trials,
+    ));
+
+    RacePerfReport {
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        trials,
+        workloads,
+    }
+}
+
+impl RacePerfReport {
+    /// Renders the machine-readable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"rtt-bench/race-v1\",\n");
+        out.push_str("  \"pr\": 4,\n");
+        out.push_str(&format!("  \"cores\": {},\n", self.cores));
+        out.push_str(&format!("  \"trials\": {},\n", self.trials));
+        out.push_str(
+            "  \"note\": \"race-program workloads through the engine curve service; simulated = rtt_sim on the reducer expansion (Observation 1.1); see crates/bench/src/race_perf.rs\",\n",
+        );
+        let all_hold = self
+            .workloads
+            .iter()
+            .all(|w| w.points.iter().all(|p| p.simulated <= p.makespan));
+        out.push_str(&format!("  \"sim_le_bound\": {all_hold},\n"));
+        out.push_str("  \"workloads\": [\n");
+        for (i, w) in self.workloads.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"jobs\": {}, \"grid_points\": {}, \"warm_ms\": {:.3}, \"cold_ms\": {:.3}, \"warm_speedup\": {:.2}, \"warm_pivots\": {}, \"cold_pivots\": {}, \"max_pipelining_gain\": {}, \"curve\": [\n",
+                w.name,
+                w.jobs,
+                w.points.len(),
+                w.warm_ms,
+                w.cold_ms,
+                w.cold_ms / w.warm_ms.max(1e-9),
+                w.warm_pivots,
+                w.cold_pivots,
+                w.max_pipelining_gain,
+            ));
+            for (j, p) in w.points.iter().enumerate() {
+                out.push_str(&format!(
+                    "      {{\"budget\": {}, \"lp_makespan\": {:.3}, \"makespan\": {}, \"simulated\": {}, \"pivots\": {}}}{}\n",
+                    p.budget,
+                    p.lp_makespan,
+                    p.makespan,
+                    p.simulated,
+                    p.pivots,
+                    if j + 1 == w.points.len() { "" } else { "," }
+                ));
+            }
+            out.push_str(&format!(
+                "    ]}}{}\n",
+                if i + 1 == self.workloads.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders a human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "==== bench-pr4 (cores = {}, trials = {}) ====\n",
+            self.cores, self.trials
+        );
+        for w in &self.workloads {
+            let mut t = crate::table::TextTable::new(&[
+                "budget",
+                "lp",
+                "analytic",
+                "simulated",
+                "pivots",
+            ]);
+            for p in &w.points {
+                t.row(vec![
+                    p.budget.to_string(),
+                    format!("{:.2}", p.lp_makespan),
+                    p.makespan.to_string(),
+                    p.simulated.to_string(),
+                    p.pivots.to_string(),
+                ]);
+            }
+            out.push_str(&format!(
+                "-- {} ({} jobs): warm {:.2} ms vs cold {:.2} ms ({:.2}x); pivots {} vs {}; max pipelining gain {}\n{}",
+                w.name,
+                w.jobs,
+                w.warm_ms,
+                w.cold_ms,
+                w.cold_ms / w.warm_ms.max(1e-9),
+                w.warm_pivots,
+                w.cold_pivots,
+                w.max_pipelining_gain,
+                t.render(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_measurement_is_consistent_and_serializes() {
+        let r = measure(1, true);
+        assert_eq!(r.workloads.len(), 2, "one MM size + the fork-join witness");
+        for w in &r.workloads {
+            assert!(!w.points.is_empty());
+            for p in &w.points {
+                assert!(p.simulated <= p.makespan, "{}: {p:?}", w.name);
+            }
+            // the LP envelope itself is non-increasing in the budget
+            // (the rounded points may wiggle — rounding can overshoot
+            // the budget by 1/(1−α), so only the envelope is monotone)
+            let mut prev = f64::INFINITY;
+            for p in &w.points {
+                assert!(p.lp_makespan <= prev + 1e-9, "{}: {p:?}", w.name);
+                prev = p.lp_makespan;
+            }
+            assert!(
+                w.warm_pivots <= w.cold_pivots,
+                "{}: warm chain must not pivot more",
+                w.name
+            );
+        }
+        let fj = r.workloads.last().unwrap();
+        assert!(
+            fj.max_pipelining_gain > 0,
+            "fork-join stagger must pipeline below the analytic bound: {fj:?}"
+        );
+        let json = r.to_json();
+        assert!(json.contains("\"workloads\""));
+        assert!(json.contains("\"sim_le_bound\": true"));
+        assert!(json.contains("\"cores\""));
+        assert!(json.contains("parallel-mm-4"));
+        assert!(json.ends_with("}\n"));
+        assert!(r.render().contains("bench-pr4"));
+    }
+}

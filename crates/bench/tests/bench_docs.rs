@@ -1,0 +1,32 @@
+//! Schema guard for the committed bench documents: every `BENCH_*.json`
+//! at the repo root must carry the uniform `cores` and `trials` fields
+//! (the PR-3 rule; the originally committed `BENCH_pr1.json` predated
+//! it, which is exactly the drift this test now forbids). The `repro`
+//! emitters additionally refuse to *write* a drifted document — this
+//! test catches hand-edits and stale commits.
+
+use rtt_cli::json::Json;
+
+#[test]
+fn committed_bench_documents_carry_cores_and_trials() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let mut found = 0usize;
+    for entry in std::fs::read_dir(root).expect("repo root readable") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        found += 1;
+        let text = std::fs::read_to_string(&path).expect("bench doc readable");
+        let doc = Json::parse(&text).unwrap_or_else(|e| panic!("{name}: invalid JSON: {e}"));
+        for field in ["schema", "pr", "cores", "trials"] {
+            assert!(
+                doc.get(field).is_some(),
+                "{name}: missing uniform field `{field}` (schema drift — \
+                 regenerate with `repro bench-pr<n>`)"
+            );
+        }
+    }
+    assert!(found >= 4, "expected the committed BENCH_pr1..pr4 documents, found {found}");
+}

@@ -90,6 +90,14 @@ impl Args {
 /// Parses a budget grid: either an inclusive range `a:b:step`
 /// (`0:16:2` → 0, 2, …, 16) or a comma list `a,b,c`. The grid is
 /// reported in the order given; ranges require `step ≥ 1` and `a ≤ b`.
+///
+/// A budget of **0 is deliberately accepted**: it is the well-defined
+/// zero-resource point of the tradeoff curve (LP 6–10 with a zero
+/// budget row routes no flow; the makespan is the base makespan, the
+/// budget used is 0). Curve grids conventionally start there — the
+/// committed curve golden uses `0:15:1` — so rejecting it at parse
+/// would cut the curve's anchor point off. The degenerate-LP concern is
+/// pinned by regression tests in `rtt_engine::curve` and here.
 pub fn parse_budgets(spec: &str) -> Result<Vec<u64>, String> {
     if spec.contains(':') {
         let parts: Vec<&str> = spec.split(':').collect();
@@ -210,5 +218,16 @@ mod tests {
         assert!(parse_budgets("0:4:0").is_err(), "zero step");
         assert!(parse_budgets("0:4").is_err(), "two-part range");
         assert!(parse_budgets("a,b").is_err());
+    }
+
+    #[test]
+    fn budget_zero_is_accepted_as_the_zero_resource_point() {
+        // B = 0 is defined behavior, not an accident: the curve's anchor
+        // point (see the parse_budgets docs and the committed curve
+        // golden's 0:15:1 grid). Both spellings must keep accepting it.
+        assert_eq!(parse_budgets("0").unwrap(), vec![0]);
+        assert_eq!(parse_budgets("0,3").unwrap(), vec![0, 3]);
+        assert_eq!(parse_budgets("0:0:1").unwrap(), vec![0]);
+        assert_eq!(parse_budgets("0:15:1").unwrap().len(), 16);
     }
 }

@@ -25,6 +25,23 @@
 //! expansion, SP decomposition, and topological order are computed once
 //! per distinct instance, however many requests and solvers touch it.
 //!
+//! A `budget` of **0** is valid and well-defined: it is the
+//! zero-resource point of the tradeoff — LP 6–10 routes no flow, every
+//! job runs at `t_v(0)`, and the report's `makespan` equals the
+//! instance's base makespan with `budget_used` 0 (the committed curve
+//! golden pins this point at the head of its `0:15:1` grid).
+//!
+//! # Race-derived instances
+//!
+//! Race workloads need no request fields of their own: `rtt gen --kind
+//! race-mm` / `race-forkjoin` extract the race DAG `D(P)` from an
+//! actual racy program (§1) and serialize it through the same
+//! [`crate::spec::InstanceSpec`] arc-form schema — node works become
+//! `kway`/`recbinary` duration documents, normalization terminals
+//! become `zero` dummies. Anything this module says about instances
+//! applies to them verbatim; that is the point of the conversion layer
+//! (`rtt_core::from_race`).
+//!
 //! # Report lines
 //!
 //! One report per (request, selected solver), in request order then
@@ -36,7 +53,7 @@
 //! `solved` on a faster run, so keep deadlines out of golden corpora.
 //!
 //! ```json
-//! {"id":"q1","solver":"bicriteria","status":"solved","makespan":4,"budget_used":8,"lp_makespan":3.5,"lp_budget":8.0,"makespan_factor":2.0,"resource_factor":2.0,"work":17}
+//! {"id":"q1","solver":"bicriteria","status":"solved","makespan":4,"budget_used":8,"lp_makespan":3.5,"lp_budget":8.0,"makespan_factor":2.0,"resource_factor":2.0,"work":17,"sim_makespan":4}
 //! {"id":"q2","solver":"exact","status":"infeasible","detail":"makespan target below the ideal makespan"}
 //! ```
 //!
@@ -45,6 +62,15 @@
 //! the solution fields. `makespan_factor`/`resource_factor` are the
 //! solver's certified guarantees (absent for heuristics), and `work` is
 //! the solver's own work counter (LP pivots, search nodes, DP cells).
+//!
+//! `sim_makespan` is the **simulation certificate** (Observation 1.1):
+//! the engine physically expanded the routed solution into its
+//! update-granular reducer DAG, executed it with `rtt_sim`, and this is
+//! the simulated finish — always `≤ makespan` (the engine panics
+//! otherwise), strictly below it when staggered updates pipeline. It is
+//! deterministic, hence on the wire; it is absent for solvers that
+//! carry no routed flow (the regime baselines) and for skipped
+//! simulations (infinite durations, oversized expansions).
 
 use crate::json::Json;
 use crate::spec::InstanceSpec;
@@ -184,13 +210,14 @@ fn parse_request_line(
 /// order, one JSON document per line, points in budget-grid order.
 ///
 /// ```json
-/// {"budget":4,"status":"solved","lp_makespan":2.5,"makespan":5,"budget_used":6,"makespan_factor":2.0,"resource_factor":2.0,"work":17}
+/// {"budget":4,"status":"solved","lp_makespan":2.5,"makespan":5,"budget_used":6,"makespan_factor":2.0,"resource_factor":2.0,"work":17,"sim_makespan":5}
 /// ```
 ///
 /// `work` counts the simplex pivots the point cost; warm-chained points
 /// (every point after the first) typically report a small fraction of
-/// the first point's count. A non-`solved` report renders as
-/// `{"budget":…,"status":…,"detail":…}`.
+/// the first point's count. `sim_makespan` is the point's Observation
+/// 1.1 simulation certificate (see the module docs). A non-`solved`
+/// report renders as `{"budget":…,"status":…,"detail":…}`.
 pub fn curve_line(budget: u64, r: &SolveReport) -> String {
     let mut fields: Vec<(String, Json)> = vec![
         ("budget".into(), Json::UInt(budget)),
@@ -213,6 +240,9 @@ pub fn curve_line(budget: u64, r: &SolveReport) -> String {
             fields.push(("resource_factor".into(), Json::Float(x)));
         }
         fields.push(("work".into(), Json::UInt(r.work)));
+        if let Some(sim) = &r.sim {
+            fields.push(("sim_makespan".into(), Json::UInt(sim.simulated)));
+        }
     } else {
         fields.push(("detail".into(), Json::Str(r.detail.clone())));
     }
@@ -248,6 +278,9 @@ pub fn report_line(r: &SolveReport) -> String {
             fields.push(("resource_factor".into(), Json::Float(x)));
         }
         fields.push(("work".into(), Json::UInt(r.work)));
+        if let Some(sim) = &r.sim {
+            fields.push(("sim_makespan".into(), Json::UInt(sim.simulated)));
+        }
     } else {
         fields.push(("detail".into(), Json::Str(r.detail.clone())));
     }

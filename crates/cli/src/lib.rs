@@ -4,6 +4,8 @@
 //!
 //! ```text
 //! rtt gen --kind race --nodes 8 --seed 7 > instance.json
+//! rtt gen --kind race-mm --n 8 > mm.json          # Figure 3 Parallel-MM races
+//! rtt gen --kind race-forkjoin --seed 7 > fj.json # random racy program
 //! rtt info instance.json
 //! rtt solve instance.json --budget 8 --solver exact --plan
 //! rtt min-resource instance.json --target 10
@@ -31,4 +33,7 @@ pub mod spec;
 
 pub use args::{parse_args, Args};
 pub use batch::{build_requests, report_line};
-pub use spec::{DurationSpec, EdgeSpec, Form, InstanceSpec, NodeSpec, SpecError};
+pub use spec::{
+    race_forkjoin_spec, race_mm_spec, DurationSpec, EdgeSpec, Form, InstanceSpec, NodeSpec,
+    SpecError,
+};

@@ -26,6 +26,8 @@ rtt — the discrete resource-time tradeoff with resource reuse over paths
 
 USAGE:
   rtt gen --kind <race|layered|sp|chain> [--nodes N] [--seed S] [--family <recbinary|kway>]
+  rtt gen --kind race-mm [--n N] [--family F]
+  rtt gen --kind race-forkjoin [--seed S] [--stages K] [--width W] [--contention C] [--family F]
   rtt info <instance.json>
   rtt solve <instance.json> --budget B [--solver <name>] [--alpha A] [--plan]
   rtt min-resource <instance.json> --target T [--solver <name>] [--alpha A]
@@ -38,7 +40,12 @@ USAGE:
 `rtt solvers` lists the registry (plus aliases `improved`, `sp`).
 Instances are JSON (see rtt-cli docs); batch corpora are NDJSON, one
 request per line (see the rtt_cli::batch docs). `gen` writes an
-instance to stdout.";
+instance to stdout.
+
+The race-* kinds derive instances from actual racy programs: `race-mm`
+is the Figure 3 Parallel-MM with the k-loop parallelized (n updates
+race on every output cell), `race-forkjoin` a seeded random fork-join
+program. Both flow through solve/batch/curve unchanged.";
 
 fn load(path: &str) -> Result<ArcInstance, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -59,11 +66,45 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     let kind: String = args.require("kind")?;
     let nodes: usize = args.flag("nodes")?.unwrap_or(8);
     let seed: u64 = args.flag("seed")?.unwrap_or(42);
-    let family: String = args.flag("family")?.unwrap_or_else(|| "recbinary".into());
-    let fam: fn(u64) -> Duration = match family.as_str() {
-        "recbinary" => Duration::recursive_binary,
-        "kway" => Duration::kway,
-        other => return Err(format!("unknown family {other}")),
+    let family: rtt_core::ReducerFamily = args
+        .flag::<String>("family")?
+        .unwrap_or_else(|| "recbinary".into())
+        .parse()?;
+    // a flag another gen kind uses but this kind ignores must fail
+    // loudly, not silently produce a default-sized instance
+    let reject = |flag: &str, hint: &str| -> Result<(), String> {
+        if args.flags.contains_key(flag) || args.switch(flag) {
+            Err(format!("--{flag} does not apply to --kind {kind}; {hint}"))
+        } else {
+            Ok(())
+        }
+    };
+    // the race-* kinds go program → race DAG → instance (the paper's
+    // §1 pipeline); the remaining kinds synthesize bare DAGs
+    match kind.as_str() {
+        "race-mm" => {
+            reject("nodes", "the size is --n (the matrix dimension)")?;
+            reject("seed", "the Figure 3 program is deterministic")?;
+            let n: u64 = args.flag("n")?.unwrap_or(4);
+            let spec = rtt_cli::race_mm_spec(n, family).map_err(|e| e.to_string())?;
+            println!("{}", spec.to_json_string());
+            return Ok(());
+        }
+        "race-forkjoin" => {
+            reject("nodes", "the size is --stages and --width")?;
+            let stages: usize = args.flag("stages")?.unwrap_or(3);
+            let width: usize = args.flag("width")?.unwrap_or(4);
+            let contention: usize = args.flag("contention")?.unwrap_or(8);
+            let spec = rtt_cli::race_forkjoin_spec(seed, stages, width, contention, family)
+                .map_err(|e| e.to_string())?;
+            println!("{}", spec.to_json_string());
+            return Ok(());
+        }
+        _ => {}
+    }
+    let fam: fn(u64) -> Duration = match family {
+        rtt_core::ReducerFamily::RecursiveBinary => Duration::recursive_binary,
+        rtt_core::ReducerFamily::KWay => Duration::kway,
     };
     let mut rng = StdRng::seed_from_u64(seed);
     let tt = match kind.as_str() {
@@ -149,6 +190,12 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
     let makespan = report.makespan.expect("solved report has a makespan");
     println!("makespan:         {makespan}");
     println!("budget used:      {}", report.budget_used.expect("solved"));
+    if let Some(sim) = &report.sim {
+        println!(
+            "simulated:        {} ≤ {} (Observation 1.1 certificate, {} updates)",
+            sim.simulated, sim.bound, sim.expanded_updates
+        );
+    }
     if args.switch("plan") {
         match &report.solution {
             Some(sol) => {

@@ -19,7 +19,9 @@
 //! a count.
 
 use crate::json::{Json, JsonError};
-use rtt_core::{Activity, ArcInstance, Instance, InstanceError, Job};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtt_core::{Activity, ArcInstance, Instance, InstanceError, Job, ReducerFamily};
 use rtt_dag::Dag;
 use rtt_duration::{Duration, Time, Tuple};
 use std::fmt;
@@ -67,9 +69,20 @@ impl DurationSpec {
         }
     }
 
-    /// Serializes an in-memory duration (always as `step`/`zero`, the
-    /// canonical representations are preserved exactly).
+    /// Serializes an in-memory duration. The reducer families keep
+    /// their tags (`kway`/`recbinary` documents rebuild to the *same*
+    /// family, so family-specific solvers still apply after a
+    /// round-trip — race-derived instances depend on this); general
+    /// step functions serialize as `step`/`constant`/`zero`.
     pub fn from_duration(d: &Duration) -> DurationSpec {
+        use rtt_duration::DurationKind;
+        match d.kind() {
+            DurationKind::KWay { base } => return DurationSpec::Kway { work: base },
+            DurationKind::RecursiveBinary { base } => {
+                return DurationSpec::Recbinary { work: base }
+            }
+            DurationKind::Step => {}
+        }
         let tuples: Vec<(u64, Time)> = d.tuples().iter().map(|t| (t.resource, t.time)).collect();
         if tuples.len() == 1 && tuples[0].1 == 0 {
             DurationSpec::Zero
@@ -291,6 +304,55 @@ impl InstanceSpec {
                 .collect(),
         }
     }
+}
+
+/// Serializes a race-derived [`Instance`] (activity on nodes) through
+/// its arc form — the canonical on-disk shape every race gen kind
+/// shares.
+fn spec_from_instance(inst: &Instance) -> InstanceSpec {
+    InstanceSpec::from_arc(&rtt_core::to_arc_form(inst).0)
+}
+
+/// The Figure 3 **Parallel-MM race workload**: the naive fully-parallel
+/// `n×n` matrix multiply races on every output cell; its race DAG
+/// (`w_Z = n` updates per `Z[i][j]`, X cells as pure inputs) becomes an
+/// instance with `family` duration functions. This is the paper's
+/// motivating program served as a first-class workload — `rtt gen
+/// --kind race-mm`.
+pub fn race_mm_spec(n: u64, family: ReducerFamily) -> Result<InstanceSpec, SpecError> {
+    if n == 0 {
+        return Err(SpecError::BadInstance(
+            "race-mm needs a matrix dimension ≥ 1".into(),
+        ));
+    }
+    let (prog, _) = rtt_race::mm::parallel_mm_racy(n);
+    let inst = rtt_core::instance_from_program(&prog, family)
+        .map_err(|e| SpecError::BadInstance(e.to_string()))?;
+    Ok(spec_from_instance(&inst))
+}
+
+/// A seeded random **fork-join race program** (`rtt gen --kind
+/// race-forkjoin`): `stages` parallel stages of `width` cells, each
+/// receiving up to `contention` logically parallel updates — see
+/// [`rtt_race::gen::random_fork_join`]. The program's race DAG becomes
+/// an instance with `family` duration functions.
+pub fn race_forkjoin_spec(
+    seed: u64,
+    stages: usize,
+    width: usize,
+    contention: usize,
+    family: ReducerFamily,
+) -> Result<InstanceSpec, SpecError> {
+    if stages == 0 || width == 0 || contention == 0 {
+        return Err(SpecError::BadInstance(
+            "race-forkjoin needs stages, width, and contention ≥ 1".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prog = rtt_race::gen::random_fork_join(&mut rng, stages, width, contention);
+    let inst = rtt_core::instance_from_program(&prog, family)
+        .map_err(|e| SpecError::BadInstance(e.to_string()))?;
+    Ok(spec_from_instance(&inst))
 }
 
 impl Form {
@@ -546,6 +608,60 @@ mod tests {
             label: String::new(),
         });
         assert!(matches!(spec.build(), Err(SpecError::BadInstance(_))));
+    }
+
+    #[test]
+    fn race_mm_spec_round_trips_and_builds() {
+        let n = 3u64;
+        let spec = race_mm_spec(n, ReducerFamily::RecursiveBinary).unwrap();
+        // 2n² cells + two normalization terminals, each split into an
+        // in/out pair by the activity-on-arc transformation
+        assert_eq!(spec.nodes.len() as u64, 2 * (2 * n * n + 2));
+        let arc = spec.build().unwrap();
+        assert_eq!(arc.base_makespan(), n, "one Z cell's n updates");
+        let back = InstanceSpec::from_json_str(&spec.to_json_string()).unwrap();
+        assert_eq!(back.build().unwrap().base_makespan(), n);
+        // n = 8 has improvable recbinary cells: a real tradeoff exists
+        let big = race_mm_spec(8, ReducerFamily::RecursiveBinary)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!(!big.improvable_edges().is_empty());
+        assert!(big.ideal_makespan() < big.base_makespan());
+        assert!(race_mm_spec(0, ReducerFamily::KWay).is_err());
+    }
+
+    #[test]
+    fn family_tags_survive_serialization() {
+        // the family solvers dispatch on the duration *kind*, so a
+        // kway/recbinary instance must still be kway/recbinary after a
+        // gen → JSON → build round-trip
+        use rtt_duration::DurationKind;
+        let spec = race_mm_spec(8, ReducerFamily::RecursiveBinary).unwrap();
+        let rebuilt = InstanceSpec::from_json_str(&spec.to_json_string())
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!(matches!(
+            rebuilt.dominant_kind(),
+            Some(DurationKind::RecursiveBinary { .. })
+        ));
+        let spec = race_mm_spec(9, ReducerFamily::KWay).unwrap();
+        assert!(matches!(
+            spec.build().unwrap().dominant_kind(),
+            Some(DurationKind::KWay { .. })
+        ));
+    }
+
+    #[test]
+    fn race_forkjoin_spec_is_seed_deterministic() {
+        let a = race_forkjoin_spec(9, 2, 3, 8, ReducerFamily::RecursiveBinary).unwrap();
+        let b = race_forkjoin_spec(9, 2, 3, 8, ReducerFamily::RecursiveBinary).unwrap();
+        assert_eq!(a.to_json_string(), b.to_json_string());
+        let c = race_forkjoin_spec(10, 2, 3, 8, ReducerFamily::RecursiveBinary).unwrap();
+        assert_ne!(a.to_json_string(), c.to_json_string(), "seed must matter");
+        a.build().unwrap();
+        assert!(race_forkjoin_spec(1, 0, 3, 8, ReducerFamily::KWay).is_err());
     }
 
     #[test]

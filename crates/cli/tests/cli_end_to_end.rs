@@ -38,6 +38,68 @@ fn gen_produces_parseable_instances() {
 }
 
 #[test]
+fn race_mm_flows_end_to_end() {
+    // the paper's loop through the real binary: generate the Figure 3
+    // racy Parallel-MM, then solve and sweep it like any instance
+    let dir = tempdir();
+    let out = rtt()
+        .args(["gen", "--kind", "race-mm", "--n", "8"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let path = dir.join("race-mm.json");
+    std::fs::write(&path, &out.stdout).unwrap();
+
+    // every registry solver answers it cleanly through `rtt solve`
+    // (race DAGs are not series-parallel, so sp-dp declines — with its
+    // documented reason, not a failure)
+    for solver in ["bicriteria", "recbinary", "recbinary-improved", "global-greedy"] {
+        let out = rtt()
+            .args(["solve", path.to_str().unwrap(), "--budget", "130", "--solver", solver])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{solver}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("makespan"), "{solver}: {text}");
+    }
+    // budget 2 per Z cell (128 total) buys height-1 reducers everywhere:
+    // the reported solve carries the Observation 1.1 simulation line
+    let out = rtt()
+        .args(["solve", path.to_str().unwrap(), "--budget", "128", "--solver", "recbinary"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("simulated:"), "{text}");
+
+    // and the tradeoff curve sweeps it through the warm LP chain
+    let out = rtt()
+        .args(["curve", path.to_str().unwrap(), "--budgets", "0:128:32"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.lines().count(), 5);
+    assert!(text.contains("\"sim_makespan\""), "{text}");
+}
+
+#[test]
+fn race_forkjoin_gen_is_deterministic_across_runs() {
+    let run = || {
+        let out = rtt()
+            .args(["gen", "--kind", "race-forkjoin", "--seed", "11", "--family", "kway"])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        out.stdout
+    };
+    assert_eq!(run(), run(), "same seed must emit identical instances");
+}
+
+#[test]
 fn info_reports_basics() {
     let dir = tempdir();
     let path = gen_instance(&dir, "race", 6);

@@ -1,0 +1,177 @@
+//! Conversion layer: programs with races → solver instances.
+//!
+//! The paper's arc is *detect races → capture them as the race DAG
+//! `D(P)` → place reducers optimally* (§1, Figures 1–3). This module is
+//! the middle seam as a first-class API: it turns an extracted
+//! [`RaceDag`] (or a whole program) into an [`Instance`] the solver
+//! stack serves, with `w_x = d_in(x)` and duration functions drawn from
+//! one of the paper's reducer families ([`ReducerFamily`]). Raw race
+//! DAGs have arbitrarily many sources (pure inputs) and sinks, so the
+//! conversion normalizes through
+//! [`Instance::race_dag_normalized`] — the added terminals are
+//! zero-work pure precedences (the §2 dummy-arc convention).
+
+use crate::instance::{Instance, InstanceError};
+use rtt_duration::{Duration, Time};
+use rtt_race::extract::{extract_race_dag, ExtractError, RaceDag};
+use rtt_race::program::Prog;
+use std::fmt;
+use std::str::FromStr;
+
+/// Which reducer family supplies the duration functions `t_v(r)` of a
+/// race-derived instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReducerFamily {
+    /// k-way splitting (Eq. 2): `⌈d/k⌉ + k` for `2 ≤ k ≤ ⌊√d⌋`.
+    KWay,
+    /// Recursive binary splitting (Eq. 3): `⌈d/2^h⌉ + h + 1` with `2^h`
+    /// cells.
+    RecursiveBinary,
+}
+
+impl ReducerFamily {
+    /// The duration function this family induces on a cell applying
+    /// `work` updates.
+    pub fn duration(self, work: Time) -> Duration {
+        match self {
+            ReducerFamily::KWay => Duration::kway(work),
+            ReducerFamily::RecursiveBinary => Duration::recursive_binary(work),
+        }
+    }
+
+    /// Stable lowercase name (`kway` / `recbinary`), matching the CLI's
+    /// `--family` values and the instance-schema duration kinds.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ReducerFamily::KWay => "kway",
+            ReducerFamily::RecursiveBinary => "recbinary",
+        }
+    }
+}
+
+impl fmt::Display for ReducerFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for ReducerFamily {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "kway" => Ok(ReducerFamily::KWay),
+            "recbinary" => Ok(ReducerFamily::RecursiveBinary),
+            other => Err(format!(
+                "unknown reducer family {other:?} (expected kway or recbinary)"
+            )),
+        }
+    }
+}
+
+/// Why a program could not be converted into an instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FromRaceError {
+    /// Race-DAG extraction failed (cyclic read-write dependencies).
+    Extract(ExtractError),
+    /// The extracted DAG was rejected by the instance constructor.
+    Instance(InstanceError),
+}
+
+impl fmt::Display for FromRaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FromRaceError::Extract(e) => write!(f, "extracting race DAG: {e}"),
+            FromRaceError::Instance(e) => write!(f, "building instance: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FromRaceError {}
+
+impl From<ExtractError> for FromRaceError {
+    fn from(e: ExtractError) -> Self {
+        FromRaceError::Extract(e)
+    }
+}
+
+impl From<InstanceError> for FromRaceError {
+    fn from(e: InstanceError) -> Self {
+        FromRaceError::Instance(e)
+    }
+}
+
+/// Builds the solver instance of an extracted race DAG: every memory
+/// location becomes a job of work `d_in(x)` (one unit per update, §1)
+/// with the family's duration function, and the DAG is normalized to a
+/// single zero-work source and sink.
+pub fn instance_from_race_dag(
+    rd: &RaceDag,
+    family: ReducerFamily,
+) -> Result<Instance, InstanceError> {
+    Instance::race_dag_normalized(&rd.dag, |w| family.duration(w))
+}
+
+/// The whole seam in one call: detect-free conversion of a fork-join
+/// program into a solver instance via its race DAG. (Race *detection*
+/// is diagnostic — extraction consumes every update, racing or not.)
+pub fn instance_from_program(
+    prog: &Prog,
+    family: ReducerFamily,
+) -> Result<Instance, FromRaceError> {
+    let rd = extract_race_dag(prog)?;
+    Ok(instance_from_race_dag(&rd, family)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtt_race::mm;
+
+    #[test]
+    fn racy_mm_converts_with_indegree_works() {
+        let n = 3u64;
+        let (p, layout) = mm::parallel_mm_racy(n);
+        let rd = extract_race_dag(&p).unwrap();
+        let inst = instance_from_race_dag(&rd, ReducerFamily::RecursiveBinary).unwrap();
+        // 2n² cells (X sources + Z outputs) + the two added terminals
+        assert_eq!(inst.job_count(), (2 * n * n + 2) as usize);
+        // every Z job has base duration n (= its in-degree)
+        let z = rd.node_of[&layout.z(1, 2)];
+        assert_eq!(inst.dag().node(z).duration.base_time(), n);
+        // base makespan = longest path of works = n (one Z cell)
+        assert_eq!(inst.base_makespan(), n);
+    }
+
+    #[test]
+    fn program_conversion_matches_two_step_conversion() {
+        let (p, _) = mm::parallel_mm_racy(2);
+        let one = instance_from_program(&p, ReducerFamily::KWay).unwrap();
+        let rd = extract_race_dag(&p).unwrap();
+        let two = instance_from_race_dag(&rd, ReducerFamily::KWay).unwrap();
+        assert_eq!(one.job_count(), two.job_count());
+        assert_eq!(one.base_makespan(), two.base_makespan());
+    }
+
+    #[test]
+    fn cyclic_program_reports_extract_error() {
+        let p = Prog::Seq(vec![
+            Prog::update(1, Some(0), vec![]),
+            Prog::update(0, Some(1), vec![]),
+        ]);
+        assert!(matches!(
+            instance_from_program(&p, ReducerFamily::KWay),
+            Err(FromRaceError::Extract(ExtractError::CyclicDependencies))
+        ));
+    }
+
+    #[test]
+    fn family_parsing_round_trips() {
+        for f in [ReducerFamily::KWay, ReducerFamily::RecursiveBinary] {
+            assert_eq!(f.as_str().parse::<ReducerFamily>().unwrap(), f);
+        }
+        assert!("exotic".parse::<ReducerFamily>().is_err());
+        assert_eq!(ReducerFamily::KWay.duration(100).time(10), 20);
+        assert_eq!(ReducerFamily::RecursiveBinary.duration(1024).time(8), 132);
+    }
+}

@@ -1,0 +1,469 @@
+//! Simulation-backed certification of solved reports (Observation 1.1).
+//!
+//! Analytic makespans in this repo are longest-path formulas over
+//! duration functions. Observation 1.1 says the *actual* §1 execution —
+//! memory cells applying one update per tick behind their locks — never
+//! takes longer than that bound. This module closes the loop: every
+//! certified [`Solution`] is **physically expanded** into an
+//! update-granular DAG (each job becomes the reducer gadget its
+//! allocation buys) and executed by [`rtt_sim::exec::simulate_works`]
+//! with unbounded processors. The simulated finish must be `≤` the
+//! reported makespan; a violation is an engine bug and panics, like
+//! every other certification failure in [`crate::solver`].
+//!
+//! # The expansion
+//!
+//! Arc-instance nodes become zero-work junctions (pure precedence);
+//! each activity arc `e` with claimed duration `t_e` and routed flow
+//! `f_e` becomes a gadget whose longest path is at most `t_e`:
+//!
+//! * **recursive binary** (Eq. 3): the §1 sibling reducer at the best
+//!   height `2^h ≤ f_e` — `2^h` leaf cells splitting the updates, `h`
+//!   one-update sibling merges, one final root update
+//!   (`⌈n/2^h⌉ + h + 1`);
+//! * **k-way** (Eq. 2): the best `k ≤ min(f_e, ⌊√n⌋)` parallel cells
+//!   feeding `k` serial merge updates into the shared variable
+//!   (`⌈n/k⌉ + k`);
+//! * **general step / constant**: one serialized cell applying `t_e`
+//!   updates (the claimed duration taken literally).
+//!
+//! Per-gadget paths are `≤ t_e` (validation guarantees
+//! `t_e ≥ t_e(f_e)`), so every expanded source→sink path is `≤` the
+//! claimed makespan — and the simulation can only *pipeline below*
+//! that, which is exactly what the certificate records.
+
+use rtt_core::{ArcInstance, Solution};
+use rtt_duration::{
+    is_infinite, raw_kway_time, raw_recursive_binary_time, recursive_binary_max_height,
+    DurationKind, Resource, Time,
+};
+use rtt_dag::{Dag, NodeId};
+use rtt_sim::exec::{simulate_works, UNBOUNDED};
+
+/// Expansions whose estimated simulation cost — total updates ×
+/// expanded nodes, the tick-loop's worst case ([`simulate_works`]
+/// rescans every node per tick) — exceeds this are not simulated (the
+/// certificate is skipped, not falsified), so serving latency stays
+/// bounded on pathological inputs.
+pub const SIM_COST_CAP: u64 = 200_000_000;
+
+/// The result of simulating a reducer-expanded solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimCertificate {
+    /// Simulated finish tick with unbounded processors.
+    pub simulated: Time,
+    /// The reported (analytic) makespan the simulation must not exceed.
+    pub bound: Time,
+    /// Nodes of the expanded update-granular DAG.
+    pub expanded_nodes: usize,
+    /// Total updates the simulation applied.
+    pub expanded_updates: u64,
+    /// Peak simultaneously busy cells.
+    pub peak_parallelism: usize,
+}
+
+impl SimCertificate {
+    /// Whether Observation 1.1 held (always true for certificates the
+    /// engine emits — a violation panics instead).
+    pub fn holds(&self) -> bool {
+        self.simulated <= self.bound
+    }
+}
+
+/// Best sibling-reducer height affordable with `r` units on a job of
+/// `n` updates: the `h` minimizing Eq. 3 subject to `2^h ≤ r`.
+fn best_recbinary_height(n: Time, r: Resource) -> u32 {
+    let cap = recursive_binary_max_height(n);
+    let mut best_h = 0u32;
+    let mut best_t = n;
+    for h in 1..=cap {
+        if (1u64 << h) > r {
+            break;
+        }
+        let t = raw_recursive_binary_time(n, h);
+        if t < best_t {
+            best_t = t;
+            best_h = h;
+        }
+    }
+    best_h
+}
+
+/// Best k-way split arity affordable with `r` units on a job of `n`
+/// updates: the `k` minimizing Eq. 2 subject to `k ≤ r` (0 = no split).
+fn best_kway_arity(n: Time, r: Resource) -> u64 {
+    let mut best_k = 0u64;
+    let mut best_t = n;
+    for k in 2..=r {
+        if k.saturating_mul(k) > n {
+            break; // past ⌊√n⌋ Eq. 2 is flat: no further improvement
+        }
+        let t = raw_kway_time(n, k);
+        if t < best_t {
+            best_t = t;
+            best_k = k;
+        }
+    }
+    best_k
+}
+
+/// How a gadget's entry cells receive their updates.
+enum Entry {
+    /// All updates release when the source junction completes — the
+    /// conservative gate, used whenever update provenance is unknown.
+    Junction,
+    /// One in-edge per incoming update of the source junction, wired
+    /// round-robin across the entry cells — the §1 semantics: a cell
+    /// drains updates as individual predecessors complete, so staggered
+    /// updates pipeline (this is what lets the simulation run strictly
+    /// below the makespan bound).
+    PerUpdate,
+}
+
+/// Physically expands a certified solution into an update-granular DAG
+/// plus its per-node work vector (see the module docs for the gadgets).
+///
+/// Two passes: gadget construction first (recording, per arc, the
+/// *tail* node whose completion signals the activity's completion),
+/// then entry wiring — pipelined per-update edges from the predecessor
+/// arcs' tails when the entry cells' total work equals the source
+/// junction's in-degree (each in-arc is then exactly one update, the
+/// race-DAG convention), the junction gate otherwise.
+pub fn expand_solution(arc: &ArcInstance, sol: &Solution) -> (Dag<(), ()>, Vec<Time>) {
+    let d = arc.dag();
+    let mut g: Dag<(), ()> = Dag::with_capacity(d.node_count(), d.edge_count());
+    // junctions, one per original node, ids preserved, zero work
+    let mut works: Vec<Time> = vec![0; d.node_count()];
+    for _ in d.node_ids() {
+        g.add_node(());
+    }
+    let cell = |g: &mut Dag<(), ()>, works: &mut Vec<Time>, w: Time| -> NodeId {
+        let v = g.add_node(());
+        works.push(w);
+        v
+    };
+    // which gadget an arc expands into, decided once per arc
+    enum Gadget {
+        /// Sibling reducer at height `h` on `n` updates.
+        Recbinary { n: Time, h: u32 },
+        /// `k`-way split on `n` updates.
+        Kway { n: Time, k: u64 },
+        /// Serialized cell at the claimed duration (or a direct edge).
+        Serial,
+    }
+    // pass 1: gadgets (internal structure + exit into the dst junction)
+    let mut tail: Vec<NodeId> = Vec::with_capacity(d.edge_count());
+    let mut entries: Vec<(Entry, Vec<NodeId>)> = Vec::with_capacity(d.edge_count());
+    for e in d.edge_refs() {
+        let t = sol.edge_times[e.id.index()];
+        let r = sol.arc_flows[e.id.index()];
+        let (u, v) = (e.src, e.dst);
+        let in_deg = d.in_degree(u) as u64;
+        let gadget = match e.weight.duration.kind() {
+            DurationKind::RecursiveBinary { base: n } => match best_recbinary_height(n, r) {
+                0 => Gadget::Serial,
+                h => Gadget::Recbinary { n, h },
+            },
+            DurationKind::KWay { base: n } => match best_kway_arity(n, r) {
+                0 | 1 => Gadget::Serial,
+                k => Gadget::Kway { n, k },
+            },
+            DurationKind::Step => Gadget::Serial,
+        };
+        match gadget {
+            // the same sibling shape rtt_duration::expand builds for
+            // node DAGs (leaf ceil-split, pairwise one-update merges,
+            // final root update) — reproduced here on the arc form
+            // because this gadget additionally needs the junction/entry
+            // wiring; crates/bench race_perf and the tests below pin it
+            // to Eq. 3 so the two constructions cannot drift silently
+            Gadget::Recbinary { n, h } => {
+                let leaves: Vec<NodeId> = (0..1u64 << h)
+                    .map(|_| cell(&mut g, &mut works, 0)) // shares assigned at wiring
+                    .collect();
+                // sibling merges: one update each, gated on both children
+                let mut level = leaves.clone();
+                while level.len() > 1 {
+                    let mut next = Vec::with_capacity(level.len() / 2);
+                    for pair in level.chunks(2) {
+                        let m = cell(&mut g, &mut works, 1);
+                        for &c in pair {
+                            g.add_edge(c, m, ()).expect("fresh node");
+                        }
+                        next.push(m);
+                    }
+                    level = next;
+                }
+                // the survivor's final update of the shared variable
+                let root = cell(&mut g, &mut works, 1);
+                g.add_edge(level[0], root, ()).expect("fresh node");
+                g.add_edge(root, v, ()).expect("junction exists");
+                let mode = if n == in_deg && n > 0 {
+                    Entry::PerUpdate
+                } else {
+                    Entry::Junction
+                };
+                // leaf works: ceil-split of n, matching the wiring order
+                let l = leaves.len() as u64;
+                for (i, &leaf) in leaves.iter().enumerate() {
+                    works[leaf.index()] = n / l + u64::from((i as u64) < n % l);
+                }
+                tail.push(root);
+                entries.push((mode, leaves));
+            }
+            Gadget::Kway { n, k } => {
+                // the shared variable absorbs one merge update per cell
+                let hub = cell(&mut g, &mut works, k);
+                let cells: Vec<NodeId> = (0..k)
+                    .map(|i| {
+                        let share = n / k + u64::from(i < n % k);
+                        let c = cell(&mut g, &mut works, share);
+                        g.add_edge(c, hub, ()).expect("fresh node");
+                        c
+                    })
+                    .collect();
+                g.add_edge(hub, v, ()).expect("junction exists");
+                let mode = if n == in_deg && n > 0 {
+                    Entry::PerUpdate
+                } else {
+                    Entry::Junction
+                };
+                tail.push(hub);
+                entries.push((mode, cells));
+            }
+            Gadget::Serial => {
+                if t == 0 {
+                    // pure precedence (dummy arcs): completes with u
+                    g.add_edge(u, v, ()).expect("junctions exist");
+                    tail.push(u);
+                    entries.push((Entry::Junction, Vec::new()));
+                } else {
+                    // lock-serialized cell at the claimed duration;
+                    // per-update wiring applies when the claim equals
+                    // the update count (no reducer engaged)
+                    let c = cell(&mut g, &mut works, t);
+                    g.add_edge(c, v, ()).expect("junction exists");
+                    let mode = if t == in_deg {
+                        Entry::PerUpdate
+                    } else {
+                        Entry::Junction
+                    };
+                    tail.push(c);
+                    entries.push((mode, vec![c]));
+                }
+            }
+        }
+    }
+    // pass 2: entry wiring
+    for e in d.edge_refs() {
+        let (mode, targets) = &entries[e.id.index()];
+        if targets.is_empty() {
+            continue; // direct edge, fully wired
+        }
+        match mode {
+            Entry::Junction => {
+                for &c in targets {
+                    g.add_edge(e.src, c, ()).expect("nodes exist");
+                }
+            }
+            Entry::PerUpdate => {
+                // one edge per incoming update, round-robin over the
+                // entry cells (index j lands on cell j mod L, which is
+                // how the ceil-split shares were assigned)
+                for (j, &in_arc) in d.in_edges(e.src).iter().enumerate() {
+                    let c = targets[j % targets.len()];
+                    g.add_edge(tail[in_arc.index()], c, ()).expect("nodes exist");
+                }
+            }
+        }
+    }
+    (g, works)
+}
+
+/// Simulates the reducer expansion of `sol` and returns the
+/// Observation 1.1 certificate, or `None` when the solution cannot be
+/// simulated (infinite durations, or an expansion past
+/// [`SIM_COST_CAP`]).
+pub fn certify_solution(arc: &ArcInstance, sol: &Solution) -> Option<SimCertificate> {
+    if is_infinite(sol.makespan) || sol.edge_times.iter().any(|&t| is_infinite(t)) {
+        return None;
+    }
+    let (g, works) = expand_solution(arc, sol);
+    let cost = works
+        .iter()
+        .sum::<u64>()
+        .saturating_mul(g.node_count() as u64);
+    if cost > SIM_COST_CAP {
+        return None;
+    }
+    let res = simulate_works(&g, &works, UNBOUNDED);
+    Some(SimCertificate {
+        simulated: res.finish,
+        bound: sol.makespan,
+        expanded_nodes: g.node_count(),
+        expanded_updates: res.updates_applied,
+        peak_parallelism: res.peak_parallelism,
+    })
+}
+
+/// Attaches the simulation certificate to a solved report that carries
+/// a routed solution, panicking if Observation 1.1 fails (an engine
+/// bug, treated like every other certification failure).
+pub(crate) fn attach(arc: &ArcInstance, report: &mut crate::SolveReport) {
+    if report.status != crate::Status::Solved {
+        return;
+    }
+    let Some(sol) = &report.solution else {
+        return;
+    };
+    if let Some(cert) = certify_solution(arc, sol) {
+        assert!(
+            cert.holds(),
+            "Observation 1.1 violated: simulated {} > reported makespan {} \
+             (solver {}, request {})",
+            cert.simulated,
+            cert.bound,
+            report.solver,
+            report.id,
+        );
+        report.sim = Some(cert);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtt_core::instance::{Activity, Job};
+    use rtt_core::{to_arc_form, Instance};
+    use rtt_duration::Duration;
+
+    /// A star of `n` updates into one recbinary cell, via node form.
+    fn recbinary_star(n: u64) -> ArcInstance {
+        let mut g: Dag<(), ()> = Dag::new();
+        let s = g.add_node(());
+        let x = g.add_node(());
+        let t = g.add_node(());
+        g.add_parallel_edges(s, x, (), n as usize).unwrap();
+        g.add_edge(x, t, ()).unwrap();
+        let inst = Instance::race_dag(&g, Duration::recursive_binary).unwrap();
+        to_arc_form(&inst).0
+    }
+
+    #[test]
+    fn exact_solutions_certify_on_reducer_instances() {
+        let arc = recbinary_star(64);
+        for budget in [0u64, 2, 4, 8, 16] {
+            let ex = rtt_core::exact::solve_exact(&arc, budget);
+            let cert = certify_solution(&arc, &ex.solution).expect("finite instance");
+            assert!(
+                cert.holds(),
+                "budget {budget}: simulated {} > bound {}",
+                cert.simulated,
+                cert.bound
+            );
+            assert_eq!(cert.bound, ex.solution.makespan);
+        }
+    }
+
+    #[test]
+    fn zero_budget_expansion_is_the_raw_race_dag() {
+        let arc = recbinary_star(16);
+        let ex = rtt_core::exact::solve_exact(&arc, 0);
+        let cert = certify_solution(&arc, &ex.solution).unwrap();
+        // no reducers: the hub cell serializes all 16 updates, plus the
+        // single update of the sink job
+        assert_eq!(cert.bound, 16 + 1);
+        assert_eq!(cert.simulated, cert.bound, "chains cannot pipeline");
+    }
+
+    #[test]
+    fn reducer_gadget_path_matches_eq3() {
+        let arc = recbinary_star(64);
+        // budget 8 buys height 3: ⌈64/8⌉ + 3 + 1 = 12 on the hub
+        let ex = rtt_core::exact::solve_exact(&arc, 8);
+        let cert = certify_solution(&arc, &ex.solution).unwrap();
+        assert_eq!(ex.solution.makespan, 12 + 1);
+        assert!(cert.simulated <= cert.bound);
+        assert!(cert.peak_parallelism >= 8, "leaf cells must run in parallel");
+    }
+
+    #[test]
+    fn staggered_updates_pipeline_strictly_below_the_bound() {
+        // race DAG: input i0 feeds a (3 updates) and b (1 update); z
+        // applies one update from each. Analytically z starts after a:
+        // bound = 3 + 2 = 5. In the §1 execution z drains b's update
+        // while a is still running and finishes at 4.
+        let mut g: Dag<(), ()> = Dag::new();
+        let i0 = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let z = g.add_node(());
+        g.add_parallel_edges(i0, a, (), 3).unwrap();
+        g.add_edge(i0, b, ()).unwrap();
+        g.add_edge(a, z, ()).unwrap();
+        g.add_edge(b, z, ()).unwrap();
+        let inst =
+            Instance::race_dag_normalized(&g, Duration::recursive_binary).unwrap();
+        let arc = to_arc_form(&inst).0;
+        let ex = rtt_core::exact::solve_exact(&arc, 0);
+        assert_eq!(ex.solution.makespan, 5);
+        let cert = certify_solution(&arc, &ex.solution).unwrap();
+        assert_eq!(
+            cert.simulated, 4,
+            "per-update wiring must let z pipeline below the bound"
+        );
+    }
+
+    #[test]
+    fn kway_gadget_certifies() {
+        let mut g: Dag<Job, ()> = Dag::new();
+        let s = g.add_node(Job::labeled("s", Duration::zero()));
+        let x = g.add_node(Job::labeled("x", Duration::kway(100)));
+        let t = g.add_node(Job::labeled("t", Duration::zero()));
+        g.add_edge(s, x, ()).unwrap();
+        g.add_edge(x, t, ()).unwrap();
+        let arc = to_arc_form(&Instance::new(g).unwrap()).0;
+        for budget in [0u64, 2, 5, 10, 100] {
+            let ex = rtt_core::exact::solve_exact(&arc, budget);
+            let cert = certify_solution(&arc, &ex.solution).unwrap();
+            assert!(cert.holds(), "budget {budget}: {cert:?}");
+        }
+    }
+
+    #[test]
+    fn infinite_durations_skip_certification() {
+        let mut g: Dag<(), Activity> = Dag::new();
+        let s = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(
+            s,
+            t,
+            Activity::new(Duration::constant(rtt_duration::INF)),
+        )
+        .unwrap();
+        let arc = ArcInstance::new(g).unwrap();
+        let sol = Solution {
+            arc_flows: vec![0],
+            edge_times: vec![rtt_duration::INF],
+            makespan: rtt_duration::INF,
+            budget_used: 0,
+        };
+        assert!(certify_solution(&arc, &sol).is_none());
+    }
+
+    #[test]
+    fn best_height_and_arity_match_duration_envelopes() {
+        for n in [6u64, 8, 64, 100, 1000] {
+            let rec = Duration::recursive_binary(n);
+            let kw = Duration::kway(n);
+            for r in 0..=40u64 {
+                let h = best_recbinary_height(n, r);
+                let t_h = if h == 0 { n } else { raw_recursive_binary_time(n, h) };
+                assert_eq!(t_h, rec.time(r), "recbinary n={n} r={r}");
+                let k = best_kway_arity(n, r);
+                let t_k = if k == 0 { n } else { raw_kway_time(n, k) };
+                assert_eq!(t_k, kw.time(r), "kway n={n} r={r}");
+            }
+        }
+    }
+}

@@ -38,6 +38,9 @@ pub struct CurvePoint {
     pub pivots: usize,
     /// Whether this point reused the previous point's basis.
     pub warm: bool,
+    /// Observation 1.1 certificate: the rounded solution's reducer
+    /// expansion simulated within `makespan` (see [`crate::certify`]).
+    pub sim: Option<crate::certify::SimCertificate>,
 }
 
 /// Solves the tradeoff curve for `prep` over `budgets` (in order) at
@@ -70,6 +73,16 @@ pub fn solve_curve(
         let (lp_makespan, lp_budget) = (frac.makespan, frac.budget_used);
         let approx = rtt_core::bicriteria_round_prepped(arc, tt, frac, alpha);
         validate(arc, &approx.solution).expect("curve rounding produced an invalid solution");
+        let sim = crate::certify::certify_solution(arc, &approx.solution);
+        if let Some(cert) = &sim {
+            assert!(
+                cert.holds(),
+                "Observation 1.1 violated on curve point (budget {budget}): \
+                 simulated {} > makespan {}",
+                cert.simulated,
+                cert.bound
+            );
+        }
         out.push(CurvePoint {
             budget,
             lp_makespan,
@@ -78,6 +91,7 @@ pub fn solve_curve(
             budget_used: approx.solution.budget_used,
             pivots,
             warm: i > 0 || had_basis,
+            sim,
         });
     }
     Ok(out)
@@ -100,6 +114,7 @@ pub fn execute_sweep(req: &SolveRequest, budgets: &[Resource]) -> Vec<SolveRepor
                 r.makespan_factor = Some(1.0 / req.alpha);
                 r.resource_factor = Some(1.0 / (1.0 - req.alpha));
                 r.work = p.pivots as u64;
+                r.sim = p.sim;
                 r
             })
             .collect(),
@@ -160,6 +175,24 @@ mod tests {
                 cold.makespan
             );
         }
+    }
+
+    #[test]
+    fn budget_zero_point_is_the_zero_resource_point() {
+        // B = 0 is defined behavior end to end (the curve goldens pin
+        // it on the wire): LP 6–10 with a zero budget row is feasible
+        // with no flow, and the rounded point reports the base makespan
+        // at zero budget used.
+        let arc = chain();
+        let base = arc.base_makespan();
+        let prep = PreparedInstance::new(arc);
+        let points = solve_curve(&prep, &[0], 0.5).unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].makespan, base);
+        assert_eq!(points[0].budget_used, 0);
+        assert!((points[0].lp_makespan - base as f64).abs() < 1e-9);
+        let sim = points[0].sim.expect("zero-budget point certifies");
+        assert_eq!(sim.simulated, base, "chains cannot pipeline");
     }
 
     #[test]

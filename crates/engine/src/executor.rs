@@ -46,6 +46,34 @@ pub struct BatchOutcome {
     pub wall: StdDuration,
 }
 
+/// The single wire-visible reason for a deadline expiring at dequeue.
+/// One constant, one construction path ([`expired_at_dequeue`]), so the
+/// text cannot drift between the sweep and the solver-fan-out paths.
+const DEADLINE_AT_DEQUEUE: &str = "deadline passed while queued";
+
+/// The report emitted when a request's deadline passed while it was
+/// still queued — used by every dispatch path in [`execute_one`].
+fn expired_at_dequeue(
+    req: &SolveRequest,
+    solver: &'static str,
+    queue_wait: StdDuration,
+) -> SolveReport {
+    let mut r = SolveReport::new(
+        req.id.clone(),
+        solver,
+        Status::DeadlineExpired,
+        DEADLINE_AT_DEQUEUE,
+    );
+    r.queue_wait = queue_wait;
+    r
+}
+
+/// Whether the request's deadline already passed after `queue_wait` in
+/// the queue.
+fn deadline_expired(req: &SolveRequest, queue_wait: StdDuration) -> bool {
+    req.deadline.is_some_and(|deadline| queue_wait > deadline)
+}
+
 /// Executes one request against the registry, in the calling thread.
 /// `queued_at` feeds the deadline check and the `queue_wait` counters;
 /// pass `Instant::now()` for an interactive solve.
@@ -58,17 +86,8 @@ pub fn execute_one(
     // Sweeps are a whole-request service (one warm-started LP chain →
     // one report per budget), dispatched before solver fan-out.
     if let crate::Objective::MakespanSweep { budgets } = &req.objective {
-        if let Some(deadline) = req.deadline {
-            if queue_wait > deadline {
-                let mut r = SolveReport::new(
-                    req.id.clone(),
-                    "bicriteria",
-                    Status::DeadlineExpired,
-                    "deadline passed while queued",
-                );
-                r.queue_wait = queue_wait;
-                return vec![r];
-            }
+        if deadline_expired(req, queue_wait) {
+            return vec![expired_at_dequeue(req, "bicriteria", queue_wait)];
         }
         let started = Instant::now();
         let mut reports = crate::curve::execute_sweep(req, budgets);
@@ -95,28 +114,20 @@ pub fn execute_one(
         },
         SolverSelection::All => registry.supporting_prepared(&req.prepared),
     };
-    if let Some(deadline) = req.deadline {
-        if queue_wait > deadline {
-            return selected
-                .iter()
-                .map(|s| {
-                    let mut r = SolveReport::new(
-                        req.id.clone(),
-                        s.name(),
-                        Status::DeadlineExpired,
-                        "deadline passed while queued",
-                    );
-                    r.queue_wait = queue_wait;
-                    r
-                })
-                .collect();
-        }
+    if deadline_expired(req, queue_wait) {
+        return selected
+            .iter()
+            .map(|s| expired_at_dequeue(req, s.name(), queue_wait))
+            .collect();
     }
     selected
         .iter()
         .map(|s| {
             let started = Instant::now();
             let mut report = s.solve(req);
+            // every routed solution additionally gets an Observation 1.1
+            // simulation certificate before it leaves the engine
+            crate::certify::attach(req.prepared.arc(), &mut report);
             report.wall = started.elapsed();
             report.queue_wait = queue_wait;
             report

@@ -21,9 +21,12 @@
 //!
 //! The free functions in `rtt_core` remain the algorithmic ground
 //! truth; the trait impls here are thin adapters that certify every
-//! result before reporting it. New scaling work (sharding, async
-//! serving, alternative backends) plugs in behind [`Solver`] without
-//! touching the layers above.
+//! result before reporting it — analytically (flow validation,
+//! certificate factors) *and* physically: every routed solution's
+//! reducer expansion is executed by `rtt_sim` and must finish within
+//! the reported makespan (Observation 1.1, [`certify`]). New scaling
+//! work (sharding, async serving, alternative backends) plugs in behind
+//! [`Solver`] without touching the layers above.
 //!
 //! ```
 //! use rtt_engine::{PrepCache, Registry, SolveRequest, run_batch};
@@ -45,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod certify;
 pub mod curve;
 pub mod executor;
 pub mod prep;
@@ -52,6 +56,7 @@ pub mod registry;
 pub mod request;
 pub mod solver;
 
+pub use certify::{certify_solution, expand_solution, SimCertificate};
 pub use curve::{solve_curve, CurvePoint};
 pub use executor::{execute_one, run_batch, BatchOutcome, BatchStats};
 pub use prep::{CacheStats, LpWarmState, PrepCache, PreparedInstance};

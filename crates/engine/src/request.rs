@@ -190,6 +190,15 @@ pub struct SolveReport {
     /// solved an LP ([`rtt_lp::LpStats`]). Diagnostics only — like the
     /// wall-clock fields it stays **off** the batch wire format.
     pub lp_stats: Option<rtt_lp::LpStats>,
+    /// Simulation-backed certificate (Observation 1.1): the routed
+    /// solution's reducer expansion was executed by `rtt_sim` and
+    /// finished within the reported makespan. Present on solved reports
+    /// that carry a [`Solution`] (absent for regime baselines, which
+    /// certify their own forms, and for skipped simulations — see
+    /// [`crate::certify::certify_solution`]). Deterministic, so its
+    /// `simulated` tick is part of the NDJSON wire format
+    /// (`sim_makespan`).
+    pub sim: Option<crate::certify::SimCertificate>,
     /// Wall-clock time of the solve call itself.
     pub wall: StdDuration,
     /// Time the request spent queued before the solve started.
@@ -220,6 +229,7 @@ impl SolveReport {
             solution: None,
             work: 0,
             lp_stats: None,
+            sim: None,
             wall: StdDuration::ZERO,
             queue_wait: StdDuration::ZERO,
         }

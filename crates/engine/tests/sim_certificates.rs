@@ -1,0 +1,72 @@
+//! End-to-end simulation certification: every routed solution the
+//! executor emits — across the whole registry, on race-derived
+//! instances of both reducer families — carries an Observation 1.1
+//! certificate whose simulated finish is within the reported makespan.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtt_core::{Instance, ReducerFamily};
+use rtt_dag::gen;
+use rtt_engine::{execute_one, PreparedInstance, Registry, SolveRequest, Status};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn race_arc(seed: u64, family: ReducerFamily) -> rtt_core::ArcInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tt = gen::random_race_dag(&mut rng, 6, 8);
+    let inst = Instance::race_dag(&tt.dag, |w| family.duration(w)).unwrap();
+    rtt_core::to_arc_form(&inst).0
+}
+
+#[test]
+fn every_routed_solution_is_sim_certified() {
+    let registry = Registry::standard();
+    for family in [ReducerFamily::KWay, ReducerFamily::RecursiveBinary] {
+        for seed in [1u64, 2, 3] {
+            let prep = Arc::new(PreparedInstance::new(race_arc(seed, family)));
+            for budget in [0u64, 4, 9] {
+                let req =
+                    SolveRequest::min_makespan(format!("{family}-{seed}-{budget}"), Arc::clone(&prep), budget);
+                for report in execute_one(&registry, &req, Instant::now()) {
+                    assert_eq!(report.status, Status::Solved, "{}: {}", report.solver, report.detail);
+                    if let Some(sol) = &report.solution {
+                        let cert = report.sim.unwrap_or_else(|| {
+                            panic!("{}: routed solution without a sim certificate", report.solver)
+                        });
+                        assert!(
+                            cert.simulated <= cert.bound,
+                            "{}: simulated {} > bound {}",
+                            report.solver,
+                            cert.simulated,
+                            cert.bound
+                        );
+                        assert_eq!(cert.bound, sol.makespan);
+                        assert!(cert.expanded_updates > 0 || sol.makespan == 0);
+                    } else {
+                        // regime baselines certify their own forms and
+                        // carry no routed flow — no sim field expected
+                        assert!(report.sim.is_none());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_points_carry_sim_certificates() {
+    let prep = Arc::new(PreparedInstance::new(race_arc(
+        7,
+        ReducerFamily::RecursiveBinary,
+    )));
+    let budgets: Vec<u64> = (0..8).collect();
+    let req = SolveRequest::sweep("curve", prep, budgets.clone());
+    let reports = execute_one(&Registry::standard(), &req, Instant::now());
+    assert_eq!(reports.len(), budgets.len());
+    for r in &reports {
+        assert_eq!(r.status, Status::Solved, "{}", r.detail);
+        let cert = r.sim.expect("curve points are rounded routed solutions");
+        assert!(cert.simulated <= cert.bound);
+        assert_eq!(cert.bound, r.makespan.unwrap());
+    }
+}

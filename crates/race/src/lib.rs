@@ -18,7 +18,10 @@
 //!   nodes are memory locations, one arc per update from the location
 //!   whose value feeds the update, so `w_x = d_in(x)`;
 //! * [`mm`] — the Parallel-MM programs of Figure 3 (safe `k`-serial and
-//!   racy `k`-parallel variants).
+//!   racy `k`-parallel variants);
+//! * [`gen`] — seeded random fork-join program generators, so race
+//!   workloads can be produced at any scale (the `rtt gen
+//!   --kind race-forkjoin` front end).
 //!
 //! Together with `rtt-core` this closes the loop the paper draws:
 //! *detect races → capture them as a DAG → place reducers optimally.*
@@ -28,6 +31,7 @@
 
 pub mod detect;
 pub mod extract;
+pub mod gen;
 pub mod interleave;
 pub mod mm;
 pub mod program;

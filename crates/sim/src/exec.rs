@@ -33,59 +33,114 @@ pub struct SimResult {
 /// `finish ≤ makespan(D)` (equality on chains, strict when staggered
 /// updates pipeline).
 pub fn simulate<N, E>(g: &Dag<N, E>, processors: usize) -> SimResult {
+    let works: Vec<Time> = (0..g.node_count())
+        .map(|i| g.in_degree(NodeId(i as u32)) as Time)
+        .collect();
+    simulate_works(g, &works, processors)
+}
+
+/// [`simulate`] generalized to an explicit per-node work vector — the
+/// model the reducer-expanded DAGs of `rtt_duration::expand` (and the
+/// engine's simulation certificates) execute under, where a sibling
+/// merge costs *one* update despite its two incoming edges.
+///
+/// Release rule per node `v`:
+///
+/// * `works[v] == d_in(v)` (the §1 race-DAG convention): each
+///   predecessor completion releases one update — staggered updates
+///   pipeline, exactly as in [`simulate`];
+/// * `works[v] != d_in(v)`: all `works[v]` updates release only once
+///   **every** predecessor has completed (the conservative gate; this is
+///   how a sibling merge waits for both children, and how a serialized
+///   cell of explicit work `t` waits for its precedences).
+///
+/// Zero-work nodes complete the instant their last predecessor does.
+/// Under both rules a node still applies at most one update per tick
+/// behind its cell lock, so Observation 1.1 survives the
+/// generalization: with unbounded processors,
+/// `finish ≤ longest path of works` (induction: once `v`'s last
+/// predecessor finishes, at most `works[v]` of its updates remain).
+pub fn simulate_works<N, E>(g: &Dag<N, E>, works: &[Time], processors: usize) -> SimResult {
     assert!(processors > 0, "need at least one processor");
     let n = g.node_count();
-    let order = rtt_dag::topo_order(g).expect("simulation requires a DAG");
-    let mut remaining: Vec<usize> = (0..n).map(|i| g.in_degree(NodeId(i as u32))).collect();
-    let mut available: Vec<usize> = vec![0; n];
+    assert_eq!(works.len(), n, "one work value per node required");
+    debug_assert!(
+        rtt_dag::is_acyclic(g),
+        "simulation requires a DAG"
+    );
+    let indeg: Vec<usize> = (0..n).map(|i| g.in_degree(NodeId(i as u32))).collect();
+    let pipelined: Vec<bool> = (0..n).map(|i| works[i] == indeg[i] as Time).collect();
+    let mut preds_left = indeg;
+    let mut remaining: Vec<Time> = works.to_vec();
+    let mut available: Vec<Time> = vec![0; n];
     let mut finish: Vec<Time> = vec![0; n];
     let mut complete: Vec<bool> = vec![false; n];
 
-    // Sources complete immediately and release their out-edges.
+    // Sources: zero-work ones complete immediately; working ones have
+    // their whole load available from tick 1.
     let mut newly_complete: Vec<NodeId> = Vec::new();
-    for &v in &order {
-        if remaining[v.index()] == 0 {
-            complete[v.index()] = true;
-            finish[v.index()] = 0;
-            newly_complete.push(v);
+    let mut completed = 0usize;
+    for i in 0..n {
+        if preds_left[i] == 0 {
+            if works[i] == 0 {
+                complete[i] = true;
+                newly_complete.push(NodeId(i as u32));
+                completed += 1;
+            } else {
+                available[i] = works[i];
+            }
         }
     }
 
     let mut tick: Time = 0;
     let mut updates_applied = 0u64;
     let mut peak = 0usize;
-    let total_updates = g.edge_count() as u64;
 
-    while updates_applied < total_updates {
-        // release updates triggered by completions of the previous tick
-        for v in newly_complete.drain(..) {
+    while completed < n {
+        // release updates triggered by completions (zero-work nodes
+        // cascade within the same tick: they finish when their last
+        // predecessor does)
+        while let Some(v) = newly_complete.pop() {
             for w in g.successors(v) {
-                available[w.index()] += 1;
+                let i = w.index();
+                preds_left[i] -= 1;
+                if pipelined[i] {
+                    available[i] += 1;
+                } else if preds_left[i] == 0 {
+                    available[i] = remaining[i];
+                }
+                if preds_left[i] == 0 && remaining[i] == 0 && !complete[i] {
+                    complete[i] = true;
+                    finish[i] = tick;
+                    newly_complete.push(w);
+                    completed += 1;
+                }
             }
+        }
+        if completed == n {
+            break;
         }
         tick += 1;
         // pick up to `processors` cells with available updates,
         // most remaining work first (deterministic tie-break by id)
-        let mut ready: Vec<usize> = (0..n).filter(|&i| available[i] > 0).collect();
-        if ready.is_empty() {
-            // no update available although work remains: the released
-            // updates all landed on busy... impossible here — every
-            // available>0 cell is schedulable. Means a dependency stall;
-            // continue releasing (can only happen if nothing completed
-            // this tick, which cannot stall forever in a DAG).
-            unreachable!("DAG execution stalled with work remaining");
-        }
-        ready.sort_by_key(|&i| (usize::MAX - remaining[i], i));
+        let mut ready: Vec<usize> = (0..n)
+            .filter(|&i| !complete[i] && available[i] > 0)
+            .collect();
+        // Some incomplete node has all predecessors complete (the DAG
+        // has no cycle), and such a node always has available updates.
+        assert!(!ready.is_empty(), "DAG execution stalled with work remaining");
+        ready.sort_by_key(|&i| (Time::MAX - remaining[i], i));
         let used = ready.len().min(processors);
         peak = peak.max(used);
         for &i in ready.iter().take(used) {
             available[i] -= 1;
             remaining[i] -= 1;
             updates_applied += 1;
-            if remaining[i] == 0 {
+            if remaining[i] == 0 && preds_left[i] == 0 {
                 complete[i] = true;
                 finish[i] = tick;
                 newly_complete.push(NodeId(i as u32));
+                completed += 1;
             }
         }
     }
@@ -212,6 +267,68 @@ mod tests {
         let r = simulate(&g, UNBOUNDED);
         assert_eq!(r.finish, 16, "per-cell lock serializes all updates");
         assert_eq!(r.peak_parallelism, 1);
+    }
+
+    #[test]
+    fn works_sibling_merge_waits_for_both_children() {
+        // a, b (serialized cells of work 3 and 1) → merge (work 1,
+        // in-degree 2) → sink junction (work 0). The merge update only
+        // becomes available once BOTH children complete.
+        let mut g: Dag<(), ()> = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let m = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(a, m, ()).unwrap();
+        g.add_edge(b, m, ()).unwrap();
+        g.add_edge(m, t, ()).unwrap();
+        let r = simulate_works(&g, &[3, 1, 1, 0], UNBOUNDED);
+        // a finishes at 3, b at 1; merge applies its one update at 4;
+        // the zero-work sink completes the same tick.
+        assert_eq!(r.node_finish[m.index()], 4);
+        assert_eq!(r.finish, 4);
+        assert_eq!(r.updates_applied, 5);
+    }
+
+    #[test]
+    fn works_zero_work_junctions_cascade_in_the_same_tick() {
+        // cell(2) → junction → junction → cell(1): junctions add no ticks.
+        let mut g: Dag<(), ()> = Dag::new();
+        let a = g.add_node(());
+        let j1 = g.add_node(());
+        let j2 = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, j1, ()).unwrap();
+        g.add_edge(j1, j2, ()).unwrap();
+        g.add_edge(j2, c, ()).unwrap();
+        let r = simulate_works(&g, &[2, 0, 0, 1], UNBOUNDED);
+        assert_eq!(r.node_finish[j2.index()], 2);
+        assert_eq!(r.finish, 3);
+    }
+
+    #[test]
+    fn works_matches_in_degree_semantics_when_equal() {
+        // works == in-degrees must be byte-identical to `simulate`.
+        let g = figure4();
+        let works: Vec<Time> = (0..g.node_count())
+            .map(|i| g.in_degree(NodeId(i as u32)) as Time)
+            .collect();
+        for p in [1usize, 2, 3, UNBOUNDED] {
+            assert_eq!(simulate_works(&g, &works, p), simulate(&g, p));
+        }
+    }
+
+    #[test]
+    fn works_gated_cell_serializes_explicit_work() {
+        // one in-edge but work 5: the cell still takes 5 ticks, starting
+        // only after its predecessor completes.
+        let mut g: Dag<(), ()> = Dag::new();
+        let a = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, c, ()).unwrap();
+        let r = simulate_works(&g, &[1, 5], UNBOUNDED);
+        assert_eq!(r.finish, 6);
+        assert_eq!(r.updates_applied, 6);
     }
 
     #[test]

@@ -28,4 +28,4 @@ pub mod exec;
 pub mod parallel_mm;
 pub mod reducer_sim;
 
-pub use exec::{simulate, SimResult, UNBOUNDED};
+pub use exec::{simulate, simulate_works, SimResult, UNBOUNDED};
