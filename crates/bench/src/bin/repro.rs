@@ -10,6 +10,7 @@
 //! repro bench-pr2 [--out PATH] [--smoke]   # batch engine baseline → BENCH_pr2.json
 //! repro bench-pr3 [--out PATH] [--smoke]   # revised simplex + warm sweeps → BENCH_pr3.json
 //! repro bench-pr4 [--out PATH] [--smoke]   # race workloads, analytic vs simulated → BENCH_pr4.json
+//! repro bench-pr5 [--out PATH] [--smoke]   # event-heap vs tick-loop sim core + certification coverage → BENCH_pr5.json
 //! ```
 
 use rtt_bench::experiments as exp;
@@ -76,6 +77,13 @@ fn run_bench_pr4(args: &[String], trials: usize) {
     write_bench(&out_path, &report.render(), &report.to_json());
 }
 
+/// Runs the PR-5 simulation-core baseline and writes the JSON document.
+fn run_bench_pr5(args: &[String], trials: usize) {
+    let (out_path, smoke) = bench_flags("bench-pr5", "BENCH_pr5.json", args);
+    let report = rtt_bench::sim_perf::measure(trials, smoke);
+    write_bench(&out_path, &report.render(), &report.to_json());
+}
+
 /// Runs the PR-1 perf baseline and writes the JSON document.
 fn run_bench_pr1(args: &[String], trials: usize) {
     let (out_path, smoke) = bench_flags("bench-pr1", "BENCH_pr1.json", args);
@@ -102,7 +110,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro [all|table1|table2|table3|fig1|fig2|fig3|fig45|fig67|fig89|fig1011|fig1214|fig1516|fig1718|spdp|lp|regimes|alpha|bench-pr1|bench-pr2|bench-pr3|bench-pr4] ..."
+            "usage: repro [all|table1|table2|table3|fig1|fig2|fig3|fig45|fig67|fig89|fig1011|fig1214|fig1516|fig1718|spdp|lp|regimes|alpha|bench-pr1|bench-pr2|bench-pr3|bench-pr4|bench-pr5] ..."
         );
         std::process::exit(2);
     }
@@ -126,6 +134,10 @@ fn main() {
     }
     if args[0] == "bench-pr4" {
         run_bench_pr4(&args[1..], trials);
+        return;
+    }
+    if args[0] == "bench-pr5" {
+        run_bench_pr5(&args[1..], trials);
         return;
     }
     if args

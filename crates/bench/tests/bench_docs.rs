@@ -28,5 +28,5 @@ fn committed_bench_documents_carry_cores_and_trials() {
             );
         }
     }
-    assert!(found >= 4, "expected the committed BENCH_pr1..pr4 documents, found {found}");
+    assert!(found >= 5, "expected the committed BENCH_pr1..pr5 documents, found {found}");
 }

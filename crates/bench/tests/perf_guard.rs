@@ -71,6 +71,31 @@ fn warm_sweep_pivots_stay_in_envelope() {
 }
 
 #[test]
+fn sim_event_counts_stay_in_envelope() {
+    // The bench-pr5 shapes' event counts are exact functions of the
+    // model — if one moves, the event engine's cost model changed.
+    let chain = rtt_bench::sim_perf::long_chain_model(64, 20_000);
+    assert_eq!(chain.event_count(), 127, "chain: cells + arcs");
+    assert_eq!(chain.update_count(), 1_280_000);
+    let star = rtt_bench::sim_perf::fanout_star_model(6_000);
+    assert_eq!(star.event_count(), 12_001, "star: cells + arcs");
+
+    // The certify path: the routed solution of the fixed bench-pr3
+    // instance expands within a pinned event envelope (counters, not
+    // wall-clock — measured 553 events / 85 cells at commit time), far
+    // below the engine's soft guard.
+    let arc = race_instance(16, 16);
+    let sol =
+        rtt_core::solve_bicriteria_with(&arc, 16, 0.5, Engine::Revised).unwrap();
+    let (g, works) = rtt_engine::expand_solution(&arc, &sol.solution);
+    let model = rtt_sim::ExecModel::from_works(&g, &works);
+    within("certify expansion events", model.event_count(), 300, 1200);
+    assert!(model.event_count() < rtt_engine::SIM_EVENT_GUARD / 1000);
+    // and the engines must agree bit for bit on the expansion
+    assert_eq!(model.run_event(), model.run_ticks(rtt_sim::UNBOUNDED));
+}
+
+#[test]
 fn sp_dp_counters_stay_in_envelope() {
     // sp_instance(50, 50) at B = 128 — a BENCH_pr1 point. The monotone
     // merge's counters are exact functions of the instance.

@@ -64,13 +64,17 @@
 //! the solver's own work counter (LP pivots, search nodes, DP cells).
 //!
 //! `sim_makespan` is the **simulation certificate** (Observation 1.1):
-//! the engine physically expanded the routed solution into its
-//! update-granular reducer DAG, executed it with `rtt_sim`, and this is
-//! the simulated finish — always `≤ makespan` (the engine panics
-//! otherwise), strictly below it when staggered updates pipeline. It is
-//! deterministic, hence on the wire; it is absent for solvers that
-//! carry no routed flow (the regime baselines) and for skipped
-//! simulations (infinite durations, oversized expansions).
+//! the engine physically expanded the solution into its update-granular
+//! reducer DAG — routed flows for the reuse-over-paths solvers,
+//! dedicated levels for the no-reuse (Q1.1) baselines, the held levels
+//! of the schedule for global-greedy (Q1.2) — executed it with
+//! `rtt_sim`'s event-heap engine, and this is the simulated finish:
+//! always `≤ makespan` (the engine panics otherwise), strictly below it
+//! when staggered updates pipeline. It is deterministic, hence on the
+//! wire, and since PR 5 it is present on **every** solved report of
+//! every registry pipeline; it is absent only for skipped simulations
+//! (infinite durations, or expansions past the engine's event-count
+//! guard `rtt_engine::SIM_EVENT_GUARD`).
 
 use crate::json::Json;
 use crate::spec::InstanceSpec;

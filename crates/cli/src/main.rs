@@ -37,7 +37,10 @@ USAGE:
   rtt regimes <instance.json> --budget B
   rtt dot <instance.json>
 
-`rtt solvers` lists the registry (plus aliases `improved`, `sp`).
+`rtt solvers` lists the registry (plus aliases `improved`, `sp`) with
+each solver's certified output: the solution form its reports carry
+(routed / noreuse / schedule) and the simulation certificate every
+solved report ships (`sim_makespan`).
 Instances are JSON (see rtt-cli docs); batch corpora are NDJSON, one
 request per line (see the rtt_cli::batch docs). `gen` writes an
 instance to stdout.
@@ -348,8 +351,17 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
 
 fn cmd_solvers() -> Result<(), String> {
     let registry = Registry::standard();
+    // name + certified-output columns: which solution object each
+    // solver's solved reports carry, and the certificate every one of
+    // them ships with (the engine replays all three forms, so the
+    // certificate column is uniformly sim_makespan — that uniformity is
+    // the point, and a registry-wide test enforces it)
     for solver in registry.iter() {
-        println!("{}", solver.name());
+        println!(
+            "{:<20} {:<10} sim_makespan",
+            solver.name(),
+            solver.solution_form().as_str()
+        );
     }
     Ok(())
 }

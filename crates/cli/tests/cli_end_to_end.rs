@@ -140,6 +140,42 @@ fn solve_bicriteria_reports_lp_bound() {
 }
 
 #[test]
+fn solvers_lists_certified_output_columns() {
+    let out = rtt().args(["solvers"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // every registry line names its solution form and the certificate
+    for line in text.lines() {
+        assert!(line.contains("sim_makespan"), "{line}");
+    }
+    assert!(text.contains("noreuse-exact"), "{text}");
+    assert!(text.contains("schedule"), "{text}");
+    assert!(text.contains("routed"), "{text}");
+}
+
+#[test]
+fn regime_solvers_print_the_simulation_certificate() {
+    // since PR 5 the regime baselines certify too: `rtt solve` surfaces
+    // the Observation 1.1 line for them, budget 0 (the curve anchor)
+    // included
+    let dir = tempdir();
+    let path = gen_instance(&dir, "race", 5);
+    for solver in ["noreuse-exact", "noreuse-bicriteria", "global-greedy"] {
+        for budget in ["0", "4"] {
+            let out = rtt()
+                .args([
+                    "solve", path.to_str().unwrap(), "--budget", budget, "--solver", solver,
+                ])
+                .output()
+                .unwrap();
+            assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+            let text = String::from_utf8_lossy(&out.stdout);
+            assert!(text.contains("simulated:"), "{solver} b={budget}: {text}");
+        }
+    }
+}
+
+#[test]
 fn sp_solver_on_sp_instance() {
     let dir = tempdir();
     let path = gen_instance(&dir, "sp", 6);

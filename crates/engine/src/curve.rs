@@ -196,6 +196,29 @@ mod tests {
     }
 
     #[test]
+    fn budget_zero_anchor_certifies_for_the_regime_baselines_too() {
+        // the PR-4 regression above pins the routed zero-resource
+        // anchor; since PR 5 the no-reuse and global-pool pipelines
+        // anchor there with a certificate of their own
+        let arc = chain();
+        let base = arc.base_makespan();
+        let registry = crate::Registry::standard();
+        let prep = std::sync::Arc::new(PreparedInstance::new(arc));
+        for name in ["noreuse-exact", "noreuse-bicriteria", "global-greedy"] {
+            let req = crate::SolveRequest::min_makespan("b0", std::sync::Arc::clone(&prep), 0)
+                .with_solver(name);
+            let reports =
+                crate::execute_one(&registry, &req, std::time::Instant::now());
+            let r = &reports[0];
+            assert_eq!(r.status, Status::Solved, "{name}: {}", r.detail);
+            assert_eq!(r.makespan, Some(base), "{name}");
+            let cert = r.sim.unwrap_or_else(|| panic!("{name}: anchor uncertified"));
+            assert_eq!(cert.bound, base, "{name}");
+            assert_eq!(cert.simulated, base, "{name}: chains cannot pipeline");
+        }
+    }
+
+    #[test]
     fn second_sweep_reuses_the_cached_basis() {
         let prep = PreparedInstance::new(chain());
         let budgets: Vec<u64> = (0..=4).collect();

@@ -22,10 +22,13 @@
 //! The free functions in `rtt_core` remain the algorithmic ground
 //! truth; the trait impls here are thin adapters that certify every
 //! result before reporting it — analytically (flow validation,
-//! certificate factors) *and* physically: every routed solution's
-//! reducer expansion is executed by `rtt_sim` and must finish within
-//! the reported makespan (Observation 1.1, [`certify`]). New scaling
-//! work (sharding, async serving, alternative backends) plugs in behind
+//! certificate factors) *and* physically: **every** solved report's
+//! solution form — routed flow, no-reuse levels, or global-pool
+//! schedule — is reducer-expanded and replayed by `rtt_sim`'s
+//! event-heap engine, and must finish within the reported makespan
+//! (Observation 1.1, [`certify`]; the replay's cost scales with the
+//! expansion's event count, not its makespan). New scaling work
+//! (sharding, async serving, alternative backends) plugs in behind
 //! [`Solver`] without touching the layers above.
 //!
 //! ```
@@ -56,10 +59,13 @@ pub mod registry;
 pub mod request;
 pub mod solver;
 
-pub use certify::{certify_solution, expand_solution, SimCertificate};
+pub use certify::{
+    certify_noreuse, certify_schedule, certify_solution, expand_levels, expand_solution,
+    SimCertificate, SIM_EVENT_GUARD,
+};
 pub use curve::{solve_curve, CurvePoint};
 pub use executor::{execute_one, run_batch, BatchOutcome, BatchStats};
 pub use prep::{CacheStats, LpWarmState, PrepCache, PreparedInstance};
 pub use registry::{canonical_name, Registry};
 pub use request::{Objective, SolveReport, SolveRequest, SolverSelection, Status};
-pub use solver::{Capability, Solver};
+pub use solver::{Capability, SolutionForm, Solver};

@@ -1,7 +1,7 @@
 //! The uniform request/report types every solver speaks.
 
 use crate::prep::PreparedInstance;
-use rtt_core::Solution;
+use rtt_core::{GlobalSchedule, NoReuseSolution, Solution};
 use rtt_duration::{Resource, Time};
 use std::sync::Arc;
 use std::time::Duration as StdDuration;
@@ -180,9 +180,17 @@ pub struct SolveReport {
     /// Certified factor on the resource, same conventions.
     pub resource_factor: Option<f64>,
     /// The routed integral solution, for solvers in the paper's
-    /// reuse-over-paths regime (regime baselines certify their own
-    /// forms and leave this empty).
+    /// reuse-over-paths regime (the regime baselines carry their own
+    /// forms below instead).
     pub solution: Option<Solution>,
+    /// The dedicated-allocation solution, for the no-reuse (Q1.1)
+    /// solvers — validated by `validate_noreuse` and replayed for the
+    /// simulation certificate like every other form.
+    pub noreuse: Option<NoReuseSolution>,
+    /// The global-pool schedule, for the global-reuse (Q1.2) solver —
+    /// verified by `verify_global_schedule` and replayed
+    /// schedule-granularly for the simulation certificate.
+    pub schedule: Option<GlobalSchedule>,
     /// Solver-specific work counter (simplex pivots, search nodes, DP
     /// cells — see each solver's docs).
     pub work: u64,
@@ -190,12 +198,14 @@ pub struct SolveReport {
     /// solved an LP ([`rtt_lp::LpStats`]). Diagnostics only — like the
     /// wall-clock fields it stays **off** the batch wire format.
     pub lp_stats: Option<rtt_lp::LpStats>,
-    /// Simulation-backed certificate (Observation 1.1): the routed
-    /// solution's reducer expansion was executed by `rtt_sim` and
-    /// finished within the reported makespan. Present on solved reports
-    /// that carry a [`Solution`] (absent for regime baselines, which
-    /// certify their own forms, and for skipped simulations — see
-    /// [`crate::certify::certify_solution`]). Deterministic, so its
+    /// Simulation-backed certificate (Observation 1.1): the solution's
+    /// reducer expansion — routed flows, dedicated no-reuse levels, or
+    /// the schedule-granular global-pool replay, per the solver's
+    /// regime — was executed by `rtt_sim`'s event engine and finished
+    /// within the reported makespan. Present on **every** solved report
+    /// of every registry pipeline (absent only for skipped simulations:
+    /// infinite durations, or expansions past
+    /// [`crate::certify::SIM_EVENT_GUARD`]). Deterministic, so its
     /// `simulated` tick is part of the NDJSON wire format
     /// (`sim_makespan`).
     pub sim: Option<crate::certify::SimCertificate>,
@@ -227,6 +237,8 @@ impl SolveReport {
             makespan_factor: None,
             resource_factor: None,
             solution: None,
+            noreuse: None,
+            schedule: None,
             work: 0,
             lp_stats: None,
             sim: None,

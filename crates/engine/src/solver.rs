@@ -17,8 +17,13 @@
 //! Every `Solved` report is internally certified before it is returned:
 //! flow solutions pass [`rtt_core::validate`], no-reuse solutions pass
 //! [`rtt_core::regimes::validate_noreuse`], and global schedules pass
-//! [`rtt_core::verify_global_schedule`]. A certification failure is an
-//! engine bug and panics rather than returning silently wrong data.
+//! [`rtt_core::verify_global_schedule`]. On top of the analytic checks,
+//! the executor replays **every** form physically ([`crate::certify`]):
+//! each solved report ships with the solution object its regime
+//! produces ([`Solver::solution_form`] names it), and the engine
+//! attaches an Observation 1.1 simulation certificate to all of them.
+//! A certification failure is an engine bug and panics rather than
+//! returning silently wrong data.
 
 use crate::request::{Objective, SolveRequest, SolveReport, Status};
 use rtt_core::regimes::{
@@ -45,6 +50,34 @@ impl Capability {
     /// `true` for [`Capability::Supported`].
     pub fn is_supported(&self) -> bool {
         matches!(self, Capability::Supported)
+    }
+}
+
+/// Which solution object a solver's solved reports carry — and hence
+/// which replay the engine runs for the Observation 1.1 simulation
+/// certificate. Every form is certified; the enum names what gets
+/// expanded (`rtt solvers` prints it as the certified-output column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolutionForm {
+    /// A routed integral flow ([`rtt_core::Solution`]) — the paper's
+    /// reuse-over-paths regime; arcs expand at their routed flows.
+    Routed,
+    /// Dedicated per-arc levels ([`rtt_core::NoReuseSolution`], Q1.1);
+    /// arcs expand at their dedicated levels.
+    NoReuse,
+    /// A timed pool schedule ([`rtt_core::GlobalSchedule`], Q1.2);
+    /// arcs expand at the levels they held while scheduled.
+    Schedule,
+}
+
+impl SolutionForm {
+    /// Stable lowercase name (the `rtt solvers` column).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SolutionForm::Routed => "routed",
+            SolutionForm::NoReuse => "noreuse",
+            SolutionForm::Schedule => "schedule",
+        }
     }
 }
 
@@ -77,6 +110,15 @@ pub trait Solver: Send + Sync {
     /// Executes the request. Never panics on unsupported input or
     /// infeasible objectives; those come back as statuses.
     fn solve(&self, req: &SolveRequest) -> SolveReport;
+
+    /// The solution object this solver's solved reports carry (see
+    /// [`SolutionForm`]); defaults to a routed flow. The executor
+    /// replays whichever form is present for the simulation
+    /// certificate, so overriding this is documentation — the report
+    /// fields are what drive the replay.
+    fn solution_form(&self) -> SolutionForm {
+        SolutionForm::Routed
+    }
 }
 
 /// Exhaustive search explodes past this many improvable jobs; the
@@ -475,6 +517,7 @@ impl Solver for NoReuseExactSolver {
                 r.budget_used = Some(sol.budget_used);
                 r.makespan_factor = Some(1.0);
                 r.resource_factor = Some(1.0);
+                r.noreuse = Some(sol);
             }
             Objective::MinResource { target } => {
                 match solve_noreuse_exact_min_resource(arc, target) {
@@ -485,6 +528,7 @@ impl Solver for NoReuseExactSolver {
                         r.budget_used = Some(sol.budget_used);
                         r.makespan_factor = Some(1.0);
                         r.resource_factor = Some(1.0);
+                        r.noreuse = Some(sol);
                     }
                     None => {
                         return SolveReport::new(
@@ -498,6 +542,10 @@ impl Solver for NoReuseExactSolver {
             }
         }
         r
+    }
+
+    fn solution_form(&self) -> SolutionForm {
+        SolutionForm::NoReuse
     }
 }
 
@@ -531,6 +579,7 @@ impl Solver for NoReuseBicriteriaSolver {
                 r.lp_budget = Some(a.lp_budget);
                 r.makespan_factor = Some(1.0 / req.alpha);
                 r.resource_factor = Some(1.0 / (1.0 - req.alpha));
+                r.noreuse = Some(a.solution);
                 r
             }
             Err(LpError::Infeasible) => SolveReport::new(
@@ -547,6 +596,10 @@ impl Solver for NoReuseBicriteriaSolver {
                 e.to_string(),
             ),
         }
+    }
+
+    fn solution_form(&self) -> SolutionForm {
+        SolutionForm::NoReuse
     }
 }
 
@@ -581,6 +634,11 @@ impl Solver for GlobalGreedySolver {
         let mut r = report_skeleton(req, self.name());
         r.makespan = Some(s.makespan);
         r.budget_used = Some(s.peak_in_use);
+        r.schedule = Some(s);
         r
+    }
+
+    fn solution_form(&self) -> SolutionForm {
+        SolutionForm::Schedule
     }
 }

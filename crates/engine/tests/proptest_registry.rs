@@ -192,6 +192,42 @@ proptest! {
         );
     }
 
+    /// Observation 1.1 for the **global-pool regime** (Q1.2): on random
+    /// instances, the schedule-granular replay of either greedy
+    /// policy's schedule — every arc expanded at the level it held —
+    /// finishes within the schedule's makespan, and the no-reuse
+    /// replay does the same at its dedicated levels.
+    #[test]
+    fn regime_replays_respect_observation_1_1(
+        kind in 0usize..4,
+        family in 0usize..2,
+        seed in 0u64..5_000,
+        budget in 0u64..12,
+    ) {
+        let arc = generate(kind, family, seed);
+        for policy in [rtt_core::GlobalPolicy::Eager, rtt_core::GlobalPolicy::Patient] {
+            let s = rtt_core::global_reuse_schedule(&arc, budget, policy);
+            rtt_core::verify_global_schedule(&arc, budget, &s)
+                .expect("greedy schedule verifies");
+            let cert = rtt_engine::certify_schedule(&arc, &s)
+                .expect("finite schedule certifies");
+            prop_assert!(
+                cert.simulated <= s.makespan,
+                "{policy:?}: simulated {} > schedule makespan {}",
+                cert.simulated,
+                s.makespan
+            );
+        }
+        let nr = rtt_core::solve_noreuse_exact(&arc, budget);
+        let cert = rtt_engine::certify_noreuse(&arc, &nr).expect("finite levels certify");
+        prop_assert!(
+            cert.simulated <= nr.makespan,
+            "no-reuse: simulated {} > makespan {}",
+            cert.simulated,
+            nr.makespan
+        );
+    }
+
     /// `--solver all` through the executor path: every emitted report
     /// either solved or failed for a declared reason, never panicked —
     /// and at least the always-applicable solvers answered.

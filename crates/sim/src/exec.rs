@@ -1,6 +1,8 @@
-//! Update-granular execution of a race DAG with `P` processors.
+//! Update-granular execution of a race DAG with `P` processors — the
+//! thin DAG-facing front end of the [`crate::model`] core.
 
-use rtt_dag::{Dag, NodeId};
+use crate::model::ExecModel;
+use rtt_dag::Dag;
 use rtt_duration::Time;
 
 /// Processor count standing for "unbounded".
@@ -19,24 +21,29 @@ pub struct SimResult {
     pub peak_parallelism: usize,
 }
 
-/// Simulates the §1 execution model tick-by-tick.
+/// Simulates the §1 execution model.
 ///
 /// Each node is a memory cell that must apply one update per incoming
 /// edge; an update becomes *available* once its source cell is complete
-/// (sources with in-degree 0 are complete at tick 0). In every tick, at
-/// most `processors` cells each apply one available update (the
+/// (sources with in-degree 0 are complete at tick 0). At most
+/// `processors` cells each apply one available update per tick (the
 /// per-cell lock serializes, so a cell applies at most one update per
-/// tick). Cells are prioritized by remaining work (most-loaded first) —
-/// a greedy list schedule.
+/// tick); under contention, cells are prioritized by remaining work
+/// (most-loaded first) — a greedy list schedule.
 ///
 /// With unbounded processors the result is Observation 1.1's refinement:
 /// `finish ≤ makespan(D)` (equality on chains, strict when staggered
-/// updates pipeline).
+/// updates pipeline) — and the run is served by the event-heap engine
+/// ([`ExecModel::run_event`]), whose cost scales with the DAG's nodes
+/// and edges instead of its makespan.
 pub fn simulate<N, E>(g: &Dag<N, E>, processors: usize) -> SimResult {
-    let works: Vec<Time> = (0..g.node_count())
-        .map(|i| g.in_degree(NodeId(i as u32)) as Time)
-        .collect();
-    simulate_works(g, &works, processors)
+    assert!(processors > 0, "need at least one processor");
+    let model = ExecModel::race_dag(g);
+    if processors == UNBOUNDED {
+        model.run_event()
+    } else {
+        model.run_ticks(processors)
+    }
 }
 
 /// [`simulate`] generalized to an explicit per-node work vector — the
@@ -44,7 +51,7 @@ pub fn simulate<N, E>(g: &Dag<N, E>, processors: usize) -> SimResult {
 /// engine's simulation certificates) execute under, where a sibling
 /// merge costs *one* update despite its two incoming edges.
 ///
-/// Release rule per node `v`:
+/// The release rule per node is the [`ExecModel`] contract:
 ///
 /// * `works[v] == d_in(v)` (the §1 race-DAG convention): each
 ///   predecessor completion releases one update — staggered updates
@@ -60,104 +67,34 @@ pub fn simulate<N, E>(g: &Dag<N, E>, processors: usize) -> SimResult {
 /// generalization: with unbounded processors,
 /// `finish ≤ longest path of works` (induction: once `v`'s last
 /// predecessor finishes, at most `works[v]` of its updates remain).
+///
+/// Unbounded runs dispatch to the event-heap engine; bounded ones to
+/// the tick loop (the per-tick most-loaded-first choice is inherently
+/// tick-granular). The two engines agree exactly where both apply —
+/// see [`simulate_works_ticks`] and the differential proptests.
 pub fn simulate_works<N, E>(g: &Dag<N, E>, works: &[Time], processors: usize) -> SimResult {
     assert!(processors > 0, "need at least one processor");
-    let n = g.node_count();
-    assert_eq!(works.len(), n, "one work value per node required");
-    debug_assert!(
-        rtt_dag::is_acyclic(g),
-        "simulation requires a DAG"
-    );
-    let indeg: Vec<usize> = (0..n).map(|i| g.in_degree(NodeId(i as u32))).collect();
-    let pipelined: Vec<bool> = (0..n).map(|i| works[i] == indeg[i] as Time).collect();
-    let mut preds_left = indeg;
-    let mut remaining: Vec<Time> = works.to_vec();
-    let mut available: Vec<Time> = vec![0; n];
-    let mut finish: Vec<Time> = vec![0; n];
-    let mut complete: Vec<bool> = vec![false; n];
-
-    // Sources: zero-work ones complete immediately; working ones have
-    // their whole load available from tick 1.
-    let mut newly_complete: Vec<NodeId> = Vec::new();
-    let mut completed = 0usize;
-    for i in 0..n {
-        if preds_left[i] == 0 {
-            if works[i] == 0 {
-                complete[i] = true;
-                newly_complete.push(NodeId(i as u32));
-                completed += 1;
-            } else {
-                available[i] = works[i];
-            }
-        }
+    let model = ExecModel::from_works(g, works);
+    if processors == UNBOUNDED {
+        model.run_event()
+    } else {
+        model.run_ticks(processors)
     }
+}
 
-    let mut tick: Time = 0;
-    let mut updates_applied = 0u64;
-    let mut peak = 0usize;
-
-    while completed < n {
-        // release updates triggered by completions (zero-work nodes
-        // cascade within the same tick: they finish when their last
-        // predecessor does)
-        while let Some(v) = newly_complete.pop() {
-            for w in g.successors(v) {
-                let i = w.index();
-                preds_left[i] -= 1;
-                if pipelined[i] {
-                    available[i] += 1;
-                } else if preds_left[i] == 0 {
-                    available[i] = remaining[i];
-                }
-                if preds_left[i] == 0 && remaining[i] == 0 && !complete[i] {
-                    complete[i] = true;
-                    finish[i] = tick;
-                    newly_complete.push(w);
-                    completed += 1;
-                }
-            }
-        }
-        if completed == n {
-            break;
-        }
-        tick += 1;
-        // pick up to `processors` cells with available updates,
-        // most remaining work first (deterministic tie-break by id)
-        let mut ready: Vec<usize> = (0..n)
-            .filter(|&i| !complete[i] && available[i] > 0)
-            .collect();
-        // Some incomplete node has all predecessors complete (the DAG
-        // has no cycle), and such a node always has available updates.
-        assert!(!ready.is_empty(), "DAG execution stalled with work remaining");
-        ready.sort_by_key(|&i| (Time::MAX - remaining[i], i));
-        let used = ready.len().min(processors);
-        peak = peak.max(used);
-        for &i in ready.iter().take(used) {
-            available[i] -= 1;
-            remaining[i] -= 1;
-            updates_applied += 1;
-            if remaining[i] == 0 && preds_left[i] == 0 {
-                complete[i] = true;
-                finish[i] = tick;
-                newly_complete.push(NodeId(i as u32));
-                completed += 1;
-            }
-        }
-    }
-
-    let overall = finish.iter().copied().max().unwrap_or(0);
-    SimResult {
-        finish: overall,
-        node_finish: finish,
-        updates_applied,
-        peak_parallelism: peak,
-    }
+/// [`simulate_works`] forced onto the tick-loop baseline engine
+/// (Θ(makespan · nodes)) regardless of the processor count. Kept
+/// public per the perf-PR protocol: `bench-pr5` measures the event
+/// engine against this in the same binary, and the differential
+/// proptests pin the two engines equal on unbounded runs.
+pub fn simulate_works_ticks<N, E>(g: &Dag<N, E>, works: &[Time], processors: usize) -> SimResult {
+    ExecModel::from_works(g, works).run_ticks(processors)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rtt_dag::Dag;
+    use rtt_dag::{Dag, NodeId};
 
     /// The Figure 4 DAG.
     fn figure4() -> Dag<(), ()> {
@@ -316,6 +253,26 @@ mod tests {
         for p in [1usize, 2, 3, UNBOUNDED] {
             assert_eq!(simulate_works(&g, &works, p), simulate(&g, p));
         }
+    }
+
+    #[test]
+    fn event_engine_matches_tick_baseline_on_unbounded_runs() {
+        // the dispatch seam itself: simulate_works (event for ∞) versus
+        // the forced tick baseline, on a shape mixing all release rules
+        let mut g: Dag<(), ()> = Dag::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let z = g.add_node(());
+        g.add_parallel_edges(s, a, (), 3).unwrap();
+        g.add_edge(s, b, ()).unwrap();
+        g.add_edge(a, z, ()).unwrap();
+        g.add_edge(b, z, ()).unwrap();
+        let works: Vec<Time> = vec![0, 3, 5, 2];
+        assert_eq!(
+            simulate_works(&g, &works, UNBOUNDED),
+            simulate_works_ticks(&g, &works, UNBOUNDED)
+        );
     }
 
     #[test]

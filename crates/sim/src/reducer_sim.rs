@@ -1,4 +1,5 @@
-//! Step simulation of the Figure 2 recursive binary reducer.
+//! Replay of the Figure 2 recursive binary reducer — a thin front end
+//! of [`crate::model::ExecModel::reducer`].
 //!
 //! A reducer of height `h` has `2^h` leaf cells; `n` updates are split
 //! evenly across the leaves and applied serially per cell (one tick
@@ -6,9 +7,14 @@
 //! (§1's "a node can become its own parent" trick: each pairwise merge
 //! is one extra update). §1 claims completion in `⌈n/2^h⌉ + h + 1`
 //! ticks given at least `2^h` processors; this module replays the
-//! protocol tick-by-tick and also measures the degradation with fewer
-//! processors.
+//! protocol on the shared execution core — the event-heap engine for
+//! unbounded processors, the tick baseline when a processor limit
+//! makes the greedy per-tick choice matter — and measures the
+//! degradation with fewer processors. (The bespoke tournament loop this
+//! module used to carry is gone: the reducer is just an [`ExecModel`].)
 
+use crate::exec::UNBOUNDED;
+use crate::model::ExecModel;
 use rtt_duration::{ceil_div, Time};
 
 /// Outcome of a reducer simulation.
@@ -25,81 +31,24 @@ pub struct ReducerSim {
 /// Simulates a height-`h` sibling reducer applying `n` updates with `p`
 /// processors (use `usize::MAX` for unbounded).
 ///
-/// Protocol per tick: every live cell with pending work and a processor
-/// applies one update. When all leaf updates of a pair are done, the
-/// later-finishing sibling spends one update merging into the survivor;
+/// The protocol is the [`ExecModel::reducer`] gadget: every live cell
+/// with released work and a processor applies one update per tick;
+/// when both leaves of a pair are done, the merge applies one update;
 /// survivors pair up recursively; the last survivor spends one final
-/// update writing the shared variable.
+/// update writing the shared variable. Under contention (`p < 2^h`)
+/// the tick engine's most-loaded-first greedy decides who runs.
 pub fn simulate_reducer(n: u64, height: u32, p: usize) -> ReducerSim {
     assert!(p > 0);
-    if height == 0 {
-        // plain lock-serialized cell: n updates, one at a time.
-        return ReducerSim {
-            finish: n,
-            total_updates: n,
-            peak_parallelism: 1.min(n as usize),
-        };
-    }
-    let leaves = 1usize << height;
-    // Tournament in heap layout: internal pairs 1..L, leaves L..2L.
-    // pending[i] = updates the cell at heap position i still has to
-    // apply (leaf shares; merges appear as one pending update when both
-    // children complete; position 0 models the final root update).
-    let mut pending: Vec<u64> = vec![0; 2 * leaves];
-    for i in 0..leaves {
-        pending[leaves + i] =
-            n / leaves as u64 + u64::from((i as u64) < n % leaves as u64);
-    }
-    // children_left[pos] = children of internal pair `pos` still running
-    let mut children_left: Vec<u8> = vec![2; leaves];
-    children_left[0] = 1; // "pair" 0 is the root variable: one child (pos 1)
-
-    // Leaves with no updates at all complete immediately.
-    let mut completions: Vec<usize> = (0..leaves)
-        .filter(|&i| pending[leaves + i] == 0)
-        .map(|i| leaves + i)
-        .collect();
-
-    let mut tick: Time = 0;
-    let mut total: u64 = 0;
-    let mut peak = 0usize;
-    let mut done = false;
-    while !done {
-        // completions of the previous tick unlock their parent merge
-        for pos in std::mem::take(&mut completions) {
-            let parent = pos / 2;
-            children_left[parent] -= 1;
-            if children_left[parent] == 0 {
-                pending[parent] = 1; // the merge (or root write) itself
-            }
-        }
-        // one update per busy cell per tick, at most p cells
-        let busy: Vec<usize> = (0..2 * leaves).filter(|&i| pending[i] > 0).collect();
-        if busy.is_empty() {
-            done = pending.iter().all(|&w| w == 0) && children_left[0] == 0;
-            debug_assert!(done, "reducer execution stalled");
-            break;
-        }
-        tick += 1;
-        let used = busy.len().min(p);
-        peak = peak.max(used);
-        for &i in busy.iter().take(used) {
-            pending[i] -= 1;
-            total += 1;
-            if pending[i] == 0 {
-                if i == 0 {
-                    done = true; // root variable written
-                } else {
-                    completions.push(i);
-                }
-            }
-        }
-    }
-
+    let model = ExecModel::reducer(n, height);
+    let r = if p == UNBOUNDED {
+        model.run_event()
+    } else {
+        model.run_ticks(p)
+    };
     ReducerSim {
-        finish: tick,
-        total_updates: total,
-        peak_parallelism: peak.max(1),
+        finish: r.finish,
+        total_updates: r.updates_applied,
+        peak_parallelism: r.peak_parallelism,
     }
 }
 
@@ -145,6 +94,18 @@ mod tests {
         // n leaf updates + (2^h - 1) merges + 1 root update
         let sim = simulate_reducer(64, 3, usize::MAX);
         assert_eq!(sim.total_updates, 64 + 7 + 1);
+    }
+
+    #[test]
+    fn exactly_2h_processors_suffice() {
+        // the §1 claim needs only 2^h processors, not unbounded ones:
+        // the tick engine at p = 2^h must match the event engine at ∞
+        for (n, h) in [(64u64, 3u32), (256, 4), (100, 2)] {
+            let full = simulate_reducer(n, h, 1 << h);
+            let unbounded = simulate_reducer(n, h, usize::MAX);
+            assert_eq!(full.finish, unbounded.finish, "n={n} h={h}");
+            assert_eq!(full.finish, analytic_time(n, h));
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtt_dag::{gen, Dag};
-use rtt_sim::{simulate, UNBOUNDED};
+use rtt_sim::{simulate, simulate_works, simulate_works_ticks, ExecModel, UNBOUNDED};
 
 /// Random two-terminal SP DAG whose edges are multiplied into parallel
 /// update bundles — the §1 race-DAG shape, guaranteed series-parallel.
@@ -68,6 +68,61 @@ proptest! {
         prop_assert!(r.peak_parallelism <= processors);
         // adding processors never hurts, down to the unbounded finish
         prop_assert!(simulate(&g, UNBOUNDED).finish <= r.finish);
+    }
+
+    /// Differential: the event-heap engine must be **bit-identical** to
+    /// the tick-loop baseline on random SP race DAGs (works = d_in, all
+    /// cells pipelined) — finish, per-node finishes, update counts, and
+    /// peak parallelism alike.
+    #[test]
+    fn event_engine_equals_tick_loop_on_race_dags(
+        seed in 0u64..10_000,
+        leaves in 1usize..20,
+        max_copies in 1usize..8,
+    ) {
+        let g = sp_race_dag(seed, leaves, max_copies);
+        let works: Vec<u64> = g
+            .node_ids()
+            .map(|v| g.in_degree(v) as u64)
+            .collect();
+        let event = simulate_works(&g, &works, UNBOUNDED);
+        let ticks = simulate_works_ticks(&g, &works, UNBOUNDED);
+        prop_assert_eq!(event, ticks);
+    }
+
+    /// Differential with *mixed release rules*: random per-node works
+    /// (pipelined where the draw hits d_in, gated bundles and zero-work
+    /// junctions elsewhere) — the certify-path shape.
+    #[test]
+    fn event_engine_equals_tick_loop_on_mixed_works(
+        seed in 0u64..10_000,
+        leaves in 1usize..16,
+        max_copies in 1usize..6,
+    ) {
+        let g = sp_race_dag(seed, leaves, max_copies);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let works: Vec<u64> = g
+            .node_ids()
+            .map(|v| match rng.random_range(0..4u32) {
+                0 => g.in_degree(v) as u64,       // pipelined
+                1 => 0,                            // junction
+                _ => rng.random_range(1..=9u64),   // gated bundle
+            })
+            .collect();
+        let event = simulate_works(&g, &works, UNBOUNDED);
+        let ticks = simulate_works_ticks(&g, &works, UNBOUNDED);
+        prop_assert_eq!(event, ticks);
+    }
+
+    /// Differential on the Figure 2 reducer gadget itself — the shape
+    /// every certification expansion is built from.
+    #[test]
+    fn event_engine_equals_tick_loop_on_reducer_models(
+        n in 0u64..600,
+        height in 0u32..7,
+    ) {
+        let model = ExecModel::reducer(n, height);
+        prop_assert_eq!(model.run_event(), model.run_ticks(UNBOUNDED));
     }
 }
 
