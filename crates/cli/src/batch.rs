@@ -19,6 +19,28 @@
 //! | `alpha` | no | bi-criteria rounding parameter in (0, 1); default 0.5 |
 //! | `deadline_ms` | no | per-request deadline from enqueue, in milliseconds — **excluded from the byte-stability guarantee** (expiry depends on wall-clock and thread count) |
 //! | `seed` | no | echoed into the request (reserved; solvers are deterministic) |
+//! | `max_pivots` | no | resource-budget limit on simplex pivots across every LP the request solves |
+//! | `max_merge_steps` | no | limit on combinatorial solver work (SP-DP merge steps and exact-search nodes) |
+//! | `max_sim_events` | no | limit on Observation 1.1 certification simulation events |
+//! | `max_queue_depth` | no | admission bound: reject if this many requests were enqueued ahead |
+//! | `on_exhaustion` | no | `"hard-reject"` (default) / `"degrade"` / `"soft-warn"`, applied to every declared limit; requires at least one `max_*` field |
+//!
+//! The `max_*` fields opt a request into **budget enforcement**
+//! ([`rtt_engine::BudgetSpec`]): counter limits are metered
+//! cooperatively *mid-solve* and, unlike `deadline_ms`, charge at
+//! deterministic points — a budgeted request's reports (including
+//! rejection, degradation, and warnings) are part of the byte-stability
+//! guarantee. `on_exhaustion` picks what tripping a limit does:
+//! `hard-reject` fails the report as `budget-exhausted`; `degrade`
+//! falls back along the declared chain (`exact` → `bicriteria`,
+//! `sp-dp` → `bicriteria`, `noreuse-exact` → `noreuse-bicriteria`; a
+//! metered-out certification replay degrades the report to
+//! analytic-only certificates instead) and marks the report
+//! `degraded_from`; `soft-warn` completes at full fidelity and flags
+//! the overage. When a whole batch should run under one budget, the
+//! `rtt batch` flags `--max-pivots` / `--max-sim-events` /
+//! `--on-exhaustion` apply to every line that declares no `max_*`
+//! field of its own (a per-line budget overrides the flags entirely).
 //!
 //! Blank lines are skipped. Identical `instance` documents are
 //! deduplicated through the engine's preprocessing cache: the two-tuple
@@ -58,10 +80,33 @@
 //! ```
 //!
 //! `status` is one of `solved`, `unsupported`, `infeasible`,
-//! `deadline-expired`; non-`solved` reports carry `detail` instead of
-//! the solution fields. `makespan_factor`/`resource_factor` are the
-//! solver's certified guarantees (absent for heuristics), and `work` is
-//! the solver's own work counter (LP pivots, search nodes, DP cells).
+//! `deadline-expired`, `budget-exhausted`, `failed`; non-`solved`
+//! reports carry `detail` instead of the solution fields.
+//! `makespan_factor`/`resource_factor` are the solver's certified
+//! guarantees (absent for heuristics), and `work` is the solver's own
+//! work counter (LP pivots, search nodes, DP cells).
+//!
+//! `budget-exhausted` means a declared resource budget ran out
+//! mid-solve under `hard-reject` (or `degrade` with no fallback);
+//! `detail` carries the structured reason (`budget exhausted:
+//! <dimension> <consumed> > limit <limit>`). `failed` means the solver
+//! panicked: the executor isolates the panic per (request, solver), so
+//! the rest of the batch completes, and `detail` carries the payload.
+//!
+//! Reports of budgeted requests additionally carry:
+//!
+//! * `degraded_from` — when the `degrade` policy fell back, the solver
+//!   that originally exhausted (`solver` is the fallback that actually
+//!   answered, and its solution fields and certificates are the
+//!   fallback's own);
+//! * `budget` — `{"consumed":{"lp_pivots":…,"merge_steps":…,
+//!   "sim_events":…},"limits":{…declared limits only…},
+//!   "warnings":[…],"degraded":[…]}`: cumulative consumption
+//!   (fallback included), the declared limits, soft-warn overage
+//!   flags, and degradation notes. Counter dimensions charge
+//!   deterministically, so the whole block is byte-stable; requests
+//!   without `max_*` fields never carry it, which keeps pre-budget
+//!   corpora byte-identical.
 //!
 //! `sim_makespan` is the **simulation certificate** (Observation 1.1):
 //! the engine physically expanded the solution into its update-granular
@@ -79,7 +124,8 @@
 use crate::json::Json;
 use crate::spec::InstanceSpec;
 use rtt_engine::{
-    Objective, PrepCache, Registry, SolveReport, SolveRequest, SolverSelection, Status,
+    BudgetLimits, BudgetPolicies, BudgetSpec, ExhaustionPolicy, Objective, PrepCache, Registry,
+    SolveReport, SolveRequest, SolverSelection, Status,
 };
 use std::time::Duration as StdDuration;
 
@@ -197,6 +243,7 @@ fn parse_request_line(
         Some(v) => v.as_u64().map_err(|e| e.to_string())?,
         None => 0,
     };
+    let budget_spec = parse_budget_fields(&doc)?;
     Ok(SolveRequest {
         id,
         prepared,
@@ -205,7 +252,44 @@ fn parse_request_line(
         solver,
         deadline,
         seed,
+        budget: budget_spec,
     })
+}
+
+/// Parses the optional `max_*` / `on_exhaustion` budget fields of a
+/// request line into a [`BudgetSpec`] (`None` when no limit is
+/// declared — the pre-budget wire format, byte for byte).
+fn parse_budget_fields(doc: &Json) -> Result<Option<BudgetSpec>, String> {
+    let limit = |field: &str| -> Result<Option<u64>, String> {
+        match doc.get(field) {
+            Some(v) => Ok(Some(v.as_u64().map_err(|e| e.to_string())?)),
+            None => Ok(None),
+        }
+    };
+    let limits = BudgetLimits {
+        lp_pivots: limit("max_pivots")?,
+        dp_merge_steps: limit("max_merge_steps")?,
+        sim_events: limit("max_sim_events")?,
+        queue_depth: limit("max_queue_depth")?,
+    };
+    let policy = match doc.get("on_exhaustion") {
+        Some(v) => {
+            let name = v.as_str().map_err(|e| e.to_string())?;
+            let p = ExhaustionPolicy::parse(name)?;
+            if limits.is_empty() {
+                return Err("on_exhaustion requires at least one max_* limit".into());
+            }
+            Some(p)
+        }
+        None => None,
+    };
+    if limits.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(BudgetSpec {
+        limits,
+        policies: BudgetPolicies::uniform(policy.unwrap_or_default()),
+    }))
 }
 
 /// Renders one tradeoff-curve point as its canonical NDJSON line (no
@@ -260,8 +344,11 @@ pub fn report_line(r: &SolveReport) -> String {
     let mut fields: Vec<(String, Json)> = vec![
         ("id".into(), Json::Str(r.id.clone())),
         ("solver".into(), Json::Str(r.solver.into())),
-        ("status".into(), Json::Str(r.status.as_str().into())),
     ];
+    if let Some(orig) = r.degraded_from {
+        fields.push(("degraded_from".into(), Json::Str(orig.into())));
+    }
+    fields.push(("status".into(), Json::Str(r.status.as_str().into())));
     if r.status == Status::Solved {
         if let Some(m) = r.makespan {
             fields.push(("makespan".into(), Json::UInt(m)));
@@ -288,7 +375,52 @@ pub fn report_line(r: &SolveReport) -> String {
     } else {
         fields.push(("detail".into(), Json::Str(r.detail.clone())));
     }
+    if let Some(b) = &r.budget {
+        fields.push(("budget".into(), budget_block(b)));
+    }
     Json::Obj(fields).compact()
+}
+
+/// The `budget` object of a budgeted report: cumulative consumption,
+/// the declared limits (declared dimensions only), and any soft-warn /
+/// degradation flags. Counter dimensions are deterministic, so the
+/// block is byte-stable.
+fn budget_block(b: &rtt_engine::BudgetReport) -> Json {
+    let consumed = Json::Obj(vec![
+        ("lp_pivots".into(), Json::UInt(b.consumed.lp_pivots)),
+        ("merge_steps".into(), Json::UInt(b.consumed.dp_merge_steps)),
+        ("sim_events".into(), Json::UInt(b.consumed.sim_events)),
+    ]);
+    let mut limits: Vec<(String, Json)> = Vec::new();
+    if let Some(x) = b.limits.lp_pivots {
+        limits.push(("max_pivots".into(), Json::UInt(x)));
+    }
+    if let Some(x) = b.limits.dp_merge_steps {
+        limits.push(("max_merge_steps".into(), Json::UInt(x)));
+    }
+    if let Some(x) = b.limits.sim_events {
+        limits.push(("max_sim_events".into(), Json::UInt(x)));
+    }
+    if let Some(x) = b.limits.queue_depth {
+        limits.push(("max_queue_depth".into(), Json::UInt(x)));
+    }
+    let mut fields = vec![
+        ("consumed".into(), consumed),
+        ("limits".into(), Json::Obj(limits)),
+    ];
+    if !b.warnings.is_empty() {
+        fields.push((
+            "warnings".into(),
+            Json::Arr(b.warnings.iter().map(|w| Json::Str(w.clone())).collect()),
+        ));
+    }
+    if !b.degraded.is_empty() {
+        fields.push((
+            "degraded".into(),
+            Json::Arr(b.degraded.iter().map(|d| Json::Str(d.clone())).collect()),
+        ));
+    }
+    Json::Obj(fields)
 }
 
 #[cfg(test)]
@@ -371,5 +503,102 @@ mod tests {
             reqs[0].solver,
             SolverSelection::Named("bicriteria".to_string())
         );
+    }
+
+    #[test]
+    fn budget_fields_parse_into_a_spec() {
+        let cache = PrepCache::new();
+        let registry = Registry::standard();
+        let line = chain_line("a", 3).replace(
+            "\"budget\":3",
+            "\"budget\":3,\"max_pivots\":100,\"max_merge_steps\":50,\"on_exhaustion\":\"degrade\"",
+        );
+        let reqs = build_requests(&line, &cache, None, &registry).unwrap();
+        let spec = reqs[0].budget.expect("budget declared");
+        assert_eq!(spec.limits.lp_pivots, Some(100));
+        assert_eq!(spec.limits.dp_merge_steps, Some(50));
+        assert_eq!(spec.limits.sim_events, None);
+        assert_eq!(spec.policies.lp_pivots, ExhaustionPolicy::Degrade);
+        // no max_* fields → no spec (pre-budget wire format)
+        let plain = build_requests(&chain_line("b", 3), &cache, None, &registry).unwrap();
+        assert!(plain[0].budget.is_none());
+        // policy without a limit is a usage error
+        let orphan = chain_line("c", 3)
+            .replace("\"budget\":3", "\"budget\":3,\"on_exhaustion\":\"soft-warn\"");
+        let err = build_requests(&orphan, &cache, None, &registry).unwrap_err();
+        assert!(err.contains("requires at least one max_*"), "{err}");
+        // a typo'd policy names itself
+        let typo = chain_line("d", 3)
+            .replace("\"budget\":3", "\"budget\":3,\"max_pivots\":5,\"on_exhaustion\":\"explode\"");
+        let err = build_requests(&typo, &cache, None, &registry).unwrap_err();
+        assert!(err.contains("unknown exhaustion policy"), "{err}");
+    }
+
+    #[test]
+    fn budgeted_reports_carry_the_budget_block_on_the_wire() {
+        let registry = Registry::standard();
+        let cache = PrepCache::new();
+        // soft-warn with a 1-step combinatorial limit: the exact solve
+        // completes and the overage is flagged deterministically
+        let line = chain_line("w", 3).replace(
+            "\"budget\":3",
+            "\"budget\":3,\"solver\":\"exact\",\"max_merge_steps\":1,\"on_exhaustion\":\"soft-warn\"",
+        );
+        let reqs = build_requests(&line, &cache, None, &registry).unwrap();
+        let out = run_batch(&registry, reqs, 1);
+        let rendered = report_line(&out.reports[0]);
+        assert!(rendered.contains("\"status\":\"solved\""), "{rendered}");
+        assert!(
+            rendered.contains("\"budget\":{\"consumed\":{\"lp_pivots\":"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("\"limits\":{\"max_merge_steps\":1}"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("\"warnings\":[\"dp_merge_steps "),
+            "{rendered}"
+        );
+        // and the block is byte-stable across thread counts
+        let rerun = |threads: usize| {
+            let cache = PrepCache::new();
+            let reqs = build_requests(&line, &cache, None, &registry).unwrap();
+            run_batch(&registry, reqs, threads)
+                .reports
+                .iter()
+                .map(report_line)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let one = rerun(1);
+        for threads in [2, 4] {
+            assert_eq!(one, rerun(threads), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn degraded_reports_name_the_original_solver_on_the_wire() {
+        let registry = Registry::standard();
+        let cache = PrepCache::new();
+        let line = chain_line("d", 3).replace(
+            "\"budget\":3",
+            "\"budget\":3,\"solver\":\"exact\",\"max_merge_steps\":1,\"on_exhaustion\":\"degrade\"",
+        );
+        let reqs = build_requests(&line, &cache, None, &registry).unwrap();
+        let out = run_batch(&registry, reqs, 1);
+        let r = &out.reports[0];
+        assert_eq!(r.status, Status::Solved, "{}", r.detail);
+        let rendered = report_line(r);
+        assert!(
+            rendered.contains("\"solver\":\"bicriteria\",\"degraded_from\":\"exact\""),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("\"degraded\":[\"degraded from exact:"),
+            "{rendered}"
+        );
+        // the fallback's certified factors ride the report
+        assert!(rendered.contains("\"makespan_factor\":2"), "{rendered}");
     }
 }

@@ -33,6 +33,7 @@ USAGE:
   rtt min-resource <instance.json> --target T [--solver <name>] [--alpha A]
   rtt curve <instance.json> --budgets a:b:step|a,b,c [--alpha A] [--out PATH]
   rtt batch <corpus.ndjson> [--threads N] [--solver all|<name>] [--out PATH]
+            [--max-pivots P] [--max-sim-events E] [--on-exhaustion hard-reject|degrade|soft-warn]
   rtt solvers
   rtt regimes <instance.json> --budget B
   rtt dot <instance.json>
@@ -44,6 +45,15 @@ solved report ships (`sim_makespan`).
 Instances are JSON (see rtt-cli docs); batch corpora are NDJSON, one
 request per line (see the rtt_cli::batch docs). `gen` writes an
 instance to stdout.
+
+The batch `--max-*` / `--on-exhaustion` flags apply a resource budget
+to every corpus line that declares no `max_*` field of its own
+(per-line budgets win; see the rtt_cli::batch docs for the per-line
+fields, which also include max_merge_steps and max_queue_depth).
+Setting RTT_FAULT_SOLVERS=1 additionally registers the fault-injection
+fixtures (fixture-panic, fixture-exhaust) for exercising the
+executor's panic isolation and budget enforcement; they only run when
+a line names them.
 
 The race-* kinds derive instances from actual racy programs: `race-mm`
 is the Figure 3 Parallel-MM with the k-loop parallelized (n updates
@@ -169,6 +179,7 @@ fn solve_via_registry(
         solver: SolverSelection::Named(solver_name.to_string()),
         deadline: None,
         seed: args.flag("seed")?.unwrap_or(0),
+        budget: None,
     };
     let mut reports = execute_one(&registry, &req, Instant::now());
     let report = reports.pop().expect("named selection yields one report");
@@ -179,6 +190,9 @@ fn solve_via_registry(
         // "target unreachable" framing — usage errors stay usage errors
         Status::Infeasible => Err(format!("target unreachable: {}", report.detail)),
         Status::DeadlineExpired => Err("deadline expired".into()),
+        // the detail already reads "budget exhausted: <dim> …"
+        Status::BudgetExhausted => Err(report.detail),
+        Status::Failed => Err(format!("solver {solver_name} failed: {}", report.detail)),
     }
 }
 
@@ -296,7 +310,42 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
         std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let threads: usize = args.flag("threads")?.unwrap_or(1);
     let solver: String = args.flag("solver")?.unwrap_or_else(|| "all".into());
-    let registry = Registry::standard();
+    let mut registry = Registry::standard();
+    // fault-injection fixtures are opt-in and name-addressed only: they
+    // decline supports(), so even when registered they never join the
+    // `all` fan-out — a corpus line must name them
+    if std::env::var("RTT_FAULT_SOLVERS").as_deref() == Ok("1") {
+        registry.register(Box::new(rtt_engine::AlwaysPanicSolver));
+        registry.register(Box::new(rtt_engine::AlwaysExhaustSolver));
+    }
+    let registry = registry;
+    // batch-wide budget defaults; a per-line budget overrides them
+    let default_budget = {
+        let limits = rtt_engine::BudgetLimits {
+            lp_pivots: args.flag("max-pivots")?,
+            sim_events: args.flag("max-sim-events")?,
+            ..Default::default()
+        };
+        let policy = match args.flag::<String>("on-exhaustion")? {
+            Some(name) => {
+                if limits.is_empty() {
+                    return Err(
+                        "--on-exhaustion requires --max-pivots or --max-sim-events".into()
+                    );
+                }
+                Some(rtt_engine::ExhaustionPolicy::parse(&name)?)
+            }
+            None => None,
+        };
+        if limits.is_empty() {
+            None
+        } else {
+            Some(rtt_engine::BudgetSpec {
+                limits,
+                policies: rtt_engine::BudgetPolicies::uniform(policy.unwrap_or_default()),
+            })
+        }
+    };
     let default_solver = match solver.as_str() {
         "all" => None,
         name => {
@@ -310,10 +359,15 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
         }
     };
     let cache = PrepCache::new();
-    let requests =
+    let mut requests =
         rtt_cli::batch::build_requests(&corpus, &cache, default_solver.as_deref(), &registry)?;
     if requests.is_empty() {
         return Err(format!("{path}: no requests (empty corpus)"));
+    }
+    if let Some(spec) = default_budget {
+        for req in &mut requests {
+            req.budget = req.budget.or(Some(spec));
+        }
     }
     let out = run_batch(&registry, requests, threads);
     let mut rendered = String::new();
@@ -330,12 +384,17 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
     // byte-stable wire format
     let stats = cache.stats();
     eprintln!(
-        "batch: {} requests -> {} reports ({} solved, {} expired) in {:.1} ms on {} thread(s); \
+        "batch: {} requests -> {} reports ({} solved, {} expired, {} rejected, {} degraded, \
+         {} warned, {} panicked) in {:.1} ms on {} thread(s); \
          {:.1} req/s; prep cache: {}/{} instance hits ({:.0}%), {}/{} artifact reuses ({:.0}%)",
         out.stats.requests,
         out.stats.reports,
         out.stats.solved,
         out.stats.expired,
+        out.stats.rejected,
+        out.stats.degraded,
+        out.stats.warned,
+        out.stats.panicked,
         out.wall.as_secs_f64() * 1e3,
         out.stats.threads,
         out.stats.requests as f64 / out.wall.as_secs_f64().max(1e-9),

@@ -49,6 +49,69 @@ fn batch_output_matches_golden_at_every_thread_count() {
     }
 }
 
+const FAULT_CORPUS: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/data/corpus_faults.ndjson"
+);
+const FAULT_GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/data/corpus_faults.golden.ndjson"
+);
+
+/// The fault-injection smoke (same shape CI runs): a corpus mixing a
+/// panicking fixture, budget exhaustion under each policy, and healthy
+/// requests must match its committed golden byte for byte at every
+/// thread count. Regenerate after a deliberate change with the
+/// corpus-smoke command above, adding `RTT_FAULT_SOLVERS=1` and the
+/// corpus_faults paths.
+#[test]
+fn fault_injection_batch_matches_golden_at_every_thread_count() {
+    let golden = std::fs::read_to_string(FAULT_GOLDEN).expect("committed fault golden");
+    // the batch completes: every hazard is contained per report
+    assert!(golden.contains("\"status\":\"failed\""));
+    assert!(golden.contains("\"status\":\"budget-exhausted\""));
+    assert!(golden.contains("\"degraded_from\":\"exact\""));
+    assert!(golden.contains("\"warnings\":["));
+    for threads in ["1", "2", "4", "8"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_rtt"))
+            .args(["batch", FAULT_CORPUS, "--threads", threads])
+            .env("RTT_FAULT_SOLVERS", "1")
+            .output()
+            .expect("spawn rtt batch");
+        assert!(
+            out.status.success(),
+            "rtt batch failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let got = String::from_utf8(out.stdout).expect("reports are UTF-8");
+        assert_eq!(
+            got, golden,
+            "fault-injection output diverged from the golden at --threads {threads}"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("1 rejected, 1 degraded, 1 warned, 1 panicked"),
+            "stats line must count every hazard: {stderr}"
+        );
+    }
+}
+
+/// Without the env gate the fixture solvers do not exist, so the same
+/// corpus fails validation at load time — the fixtures cannot leak into
+/// normal serving.
+#[test]
+fn fault_fixtures_are_absent_without_the_env_gate() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rtt"))
+        .args(["batch", FAULT_CORPUS])
+        .output()
+        .expect("spawn rtt batch");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown solver \"fixture-panic\""),
+        "load-time validation names the missing fixture"
+    );
+}
+
 #[test]
 fn batch_summary_reports_cache_telemetry_on_stderr() {
     let out = Command::new(env!("CARGO_BIN_EXE_rtt"))

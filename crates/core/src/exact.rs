@@ -9,6 +9,7 @@
 
 use crate::instance::ArcInstance;
 use crate::solution::Solution;
+use rtt_budget::{BudgetMeter, Exhausted};
 use rtt_duration::{Resource, Time};
 use rtt_flow::{min_flow, BoundedEdge, MinFlowResult};
 
@@ -92,6 +93,18 @@ impl<'a> SearchCtx<'a> {
 /// Exact minimum-makespan under budget `B` (Question 1.3 semantics:
 /// resources reused over source→sink paths).
 pub fn solve_exact(arc: &ArcInstance, budget: Resource) -> ExactSolution {
+    solve_exact_metered(arc, budget, None).expect("an unmetered search cannot exhaust")
+}
+
+/// [`solve_exact`] under a cooperative budget meter: every search node
+/// charges one `dp_merge_steps` unit (the combinatorial-work dimension
+/// shared with the SP-DP), so the exponential search bails out with a
+/// typed [`Exhausted`] instead of running away.
+pub fn solve_exact_metered(
+    arc: &ArcInstance,
+    budget: Resource,
+    meter: Option<&BudgetMeter>,
+) -> Result<ExactSolution, Exhausted> {
     let d = arc.dag();
     let mut ctx = SearchCtx::new(arc);
     // start from the all-zero allocation: always feasible
@@ -107,9 +120,19 @@ pub fn solve_exact(arc: &ArcInstance, budget: Resource) -> ExactSolution {
     // `flow_value`: min-flow value of the demands decided so far. Level 0
     // leaves the demands unchanged, so the parent's value carries over —
     // only nonzero levels pay for a flow computation.
-    fn dfs(ctx: &mut SearchCtx, budget: Resource, idx: usize, flow_value: Resource, best: &mut Best) {
+    fn dfs(
+        ctx: &mut SearchCtx,
+        budget: Resource,
+        idx: usize,
+        flow_value: Resource,
+        best: &mut Best,
+        meter: Option<&BudgetMeter>,
+    ) -> Result<(), Exhausted> {
+        if let Some(m) = meter {
+            m.charge_merge_steps(1)?;
+        }
         if ctx.makespan_lb() >= best.makespan {
-            return; // cannot beat the incumbent
+            return Ok(()); // cannot beat the incumbent
         }
         if idx == ctx.jobs.len() {
             best.explored += 1;
@@ -121,7 +144,7 @@ pub fn solve_exact(arc: &ArcInstance, budget: Resource) -> ExactSolution {
                 best.levels = ctx.levels.clone();
                 best.flow = r;
             }
-            return;
+            return Ok(());
         }
         let e = ctx.jobs[idx];
         let ei = e.index();
@@ -145,10 +168,11 @@ pub fn solve_exact(arc: &ArcInstance, budget: Resource) -> ExactSolution {
                 }
                 r.value
             };
-            dfs(ctx, budget, idx + 1, fv, best);
+            dfs(ctx, budget, idx + 1, fv, best, meter)?;
         }
         ctx.levels[ei] = 0;
         ctx.decided[ei] = false;
+        Ok(())
     }
 
     let mut best = Best {
@@ -157,13 +181,13 @@ pub fn solve_exact(arc: &ArcInstance, budget: Resource) -> ExactSolution {
         flow: base,
         explored: 1,
     };
-    dfs(&mut ctx, budget, 0, 0, &mut best);
+    dfs(&mut ctx, budget, 0, 0, &mut best, meter)?;
 
     let edge_times: Vec<Time> = d
         .edge_ids()
         .map(|e| d.edge(e).duration.time(best.levels[e.index()]))
         .collect();
-    ExactSolution {
+    Ok(ExactSolution {
         solution: Solution {
             arc_flows: best.flow.edge_flow.clone(),
             edge_times,
@@ -172,7 +196,7 @@ pub fn solve_exact(arc: &ArcInstance, budget: Resource) -> ExactSolution {
         },
         levels: best.levels,
         explored: best.explored,
-    }
+    })
 }
 
 /// Decision procedure: is there a routing within `budget` achieving
@@ -270,8 +294,19 @@ pub fn solve_exact_min_resource(
     arc: &ArcInstance,
     target: Time,
 ) -> Option<(Resource, Solution)> {
+    solve_exact_min_resource_metered(arc, target, None)
+        .expect("an unmetered search cannot exhaust")
+}
+
+/// [`solve_exact_min_resource`] under a cooperative budget meter (one
+/// `dp_merge_steps` charge per search node, as in [`solve_exact_metered`]).
+pub fn solve_exact_min_resource_metered(
+    arc: &ArcInstance,
+    target: Time,
+    meter: Option<&BudgetMeter>,
+) -> Result<Option<(Resource, Solution)>, Exhausted> {
     if arc.ideal_makespan() > target {
-        return None;
+        return Ok(None);
     }
     let d = arc.dag();
     let mut ctx = SearchCtx::new(arc);
@@ -286,25 +321,29 @@ pub fn solve_exact_min_resource(
         idx: usize,
         flow_value: Resource,
         best: &mut Option<(Resource, Vec<Resource>, MinFlowResult)>,
-    ) {
+        meter: Option<&BudgetMeter>,
+    ) -> Result<(), Exhausted> {
+        if let Some(m) = meter {
+            m.charge_merge_steps(1)?;
+        }
         if let Some((b, _, _)) = best {
             if flow_value >= *b {
-                return; // cannot end below the incumbent's budget
+                return Ok(()); // cannot end below the incumbent's budget
             }
         }
         // optimistic makespan must already be reachable
         if ctx.makespan_lb() > target {
-            return;
+            return Ok(());
         }
         if idx == ctx.jobs.len() {
             if ctx.makespan() > target {
-                return;
+                return Ok(());
             }
             let r = routing(ctx.arc, &ctx.levels);
             if best.as_ref().is_none_or(|(b, _, _)| r.value < *b) {
                 *best = Some((r.value, ctx.levels.clone(), r));
             }
-            return;
+            return Ok(());
         }
         let e = ctx.jobs[idx];
         let ei = e.index();
@@ -317,14 +356,17 @@ pub fn solve_exact_min_resource(
             } else {
                 routing(ctx.arc, &ctx.levels).value
             };
-            dfs(ctx, target, idx + 1, fv, best);
+            dfs(ctx, target, idx + 1, fv, best, meter)?;
         }
         ctx.levels[ei] = 0;
         ctx.decided[ei] = false;
+        Ok(())
     }
 
-    dfs(&mut ctx, target, 0, 0, &mut best);
-    let (value, levels, flow) = best?;
+    dfs(&mut ctx, target, 0, 0, &mut best, meter)?;
+    let Some((value, levels, flow)) = best else {
+        return Ok(None);
+    };
     let edge_times: Vec<Time> = d
         .edge_ids()
         .map(|e| d.edge(e).duration.time(levels[e.index()]))
@@ -332,7 +374,7 @@ pub fn solve_exact_min_resource(
     let makespan = rtt_dag::longest_path_edges(d, |e| edge_times[e.index()])
         .expect("acyclic")
         .weight;
-    Some((
+    Ok(Some((
         value,
         Solution {
             arc_flows: flow.edge_flow,
@@ -340,7 +382,7 @@ pub fn solve_exact_min_resource(
             makespan,
             budget_used: value,
         },
-    ))
+    )))
 }
 
 #[cfg(test)]

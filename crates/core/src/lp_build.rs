@@ -37,6 +37,10 @@ pub enum LpError {
     Infeasible,
     /// The relaxation is unbounded (indicates a modelling bug).
     Unbounded,
+    /// A cooperative budget check tripped mid-solve (pivot cap,
+    /// deadline, or cancellation). Only metered entry points can return
+    /// this; the engine maps it onto the request's exhaustion policy.
+    Exhausted(rtt_budget::Exhausted),
 }
 
 impl fmt::Display for LpError {
@@ -44,6 +48,7 @@ impl fmt::Display for LpError {
         match self {
             LpError::Infeasible => write!(f, "LP relaxation infeasible"),
             LpError::Unbounded => write!(f, "LP relaxation unbounded"),
+            LpError::Exhausted(e) => write!(f, "{e}"),
         }
     }
 }
@@ -303,13 +308,26 @@ impl MakespanLp {
         tt: &TwoTupleInstance,
         engine: Engine,
     ) -> Result<FractionalSolution, LpError> {
+        self.solve_with_metered(tt, engine, None)
+    }
+
+    /// [`MakespanLp::solve_with`] under a cooperative budget meter: the
+    /// simplex loops charge one `lp_pivots` unit per pivot, and a
+    /// tripped budget surfaces as [`LpError::Exhausted`].
+    pub fn solve_with_metered(
+        &self,
+        tt: &TwoTupleInstance,
+        engine: Engine,
+        meter: Option<&rtt_budget::BudgetMeter>,
+    ) -> Result<FractionalSolution, LpError> {
         if matches!(engine, Engine::Revised) {
-            return self.solve_warm(tt, None).map(|(f, _)| f);
+            return self.solve_warm_metered(tt, None, meter).map(|(f, _)| f);
         }
-        match self.problem.solve_with(engine) {
+        match self.problem.solve_with_metered(engine, meter) {
             Outcome::Optimal(s) => Ok(self.extract_at(tt, s)),
             Outcome::Infeasible => Err(LpError::Infeasible),
             Outcome::Unbounded => Err(LpError::Unbounded),
+            Outcome::Exhausted(e) => Err(LpError::Exhausted(e)),
         }
     }
 
@@ -322,11 +340,25 @@ impl MakespanLp {
         tt: &TwoTupleInstance,
         warm: Option<&rtt_lp::Basis>,
     ) -> Result<(FractionalSolution, Option<rtt_lp::Basis>), LpError> {
-        let (out, basis) = self.problem.solve_revised_warm(Some(warm.unwrap_or(self.crash(tt))));
+        self.solve_warm_metered(tt, warm, None)
+    }
+
+    /// [`MakespanLp::solve_warm`] under a cooperative budget meter (see
+    /// [`MakespanLp::solve_with_metered`]).
+    pub fn solve_warm_metered(
+        &self,
+        tt: &TwoTupleInstance,
+        warm: Option<&rtt_lp::Basis>,
+        meter: Option<&rtt_budget::BudgetMeter>,
+    ) -> Result<(FractionalSolution, Option<rtt_lp::Basis>), LpError> {
+        let (out, basis) = self
+            .problem
+            .solve_revised_warm_metered(Some(warm.unwrap_or(self.crash(tt))), meter);
         match out {
             Outcome::Optimal(s) => Ok((self.extract_at(tt, s), basis)),
             Outcome::Infeasible => Err(LpError::Infeasible),
             Outcome::Unbounded => Err(LpError::Unbounded),
+            Outcome::Exhausted(e) => Err(LpError::Exhausted(e)),
         }
     }
 
@@ -342,9 +374,22 @@ impl MakespanLp {
         budgets: &[Resource],
         start: Option<&rtt_lp::Basis>,
     ) -> Result<(Vec<FractionalSolution>, Option<rtt_lp::Basis>), LpError> {
+        self.solve_sweep_metered(tt, budgets, start, None)
+    }
+
+    /// [`MakespanLp::solve_sweep`] under a cooperative budget meter. The
+    /// meter bounds the *whole sweep*: once it trips, the error carries
+    /// the first exhaustion and no further points are solved.
+    pub fn solve_sweep_metered(
+        &self,
+        tt: &TwoTupleInstance,
+        budgets: &[Resource],
+        start: Option<&rtt_lp::Basis>,
+        meter: Option<&rtt_budget::BudgetMeter>,
+    ) -> Result<(Vec<FractionalSolution>, Option<rtt_lp::Basis>), LpError> {
         let Some(row) = self.budget_row else {
             // budget-independent LP: every point is the same solve
-            let (frac, basis) = self.solve_warm(tt, start)?;
+            let (frac, basis) = self.solve_warm_metered(tt, start, meter)?;
             return Ok((vec![frac; budgets.len()], basis));
         };
         let rhs: Vec<f64> = budgets.iter().map(|&b| b as f64).collect();
@@ -354,6 +399,7 @@ impl MakespanLp {
             &rhs,
             rtt_lp::PivotRule::Dantzig,
             Some(start.unwrap_or(self.crash(tt))),
+            meter,
         );
         let mut points = Vec::with_capacity(outcomes.len());
         for out in outcomes {
@@ -361,6 +407,7 @@ impl MakespanLp {
                 Outcome::Optimal(s) => points.push(self.extract_at(tt, s)),
                 Outcome::Infeasible => return Err(LpError::Infeasible),
                 Outcome::Unbounded => return Err(LpError::Unbounded),
+                Outcome::Exhausted(e) => return Err(LpError::Exhausted(e)),
             }
         }
         Ok((points, basis))
@@ -383,9 +430,20 @@ pub fn solve_min_makespan_lp_with(
     budget: Resource,
     engine: Engine,
 ) -> Result<FractionalSolution, LpError> {
+    solve_min_makespan_lp_metered(tt, budget, engine, None)
+}
+
+/// [`solve_min_makespan_lp_with`] under a cooperative budget meter (see
+/// [`MakespanLp::solve_with_metered`]).
+pub fn solve_min_makespan_lp_metered(
+    tt: &TwoTupleInstance,
+    budget: Resource,
+    engine: Engine,
+    meter: Option<&rtt_budget::BudgetMeter>,
+) -> Result<FractionalSolution, LpError> {
     let mut lp = MakespanLp::new(tt);
     lp.set_budget(budget);
-    lp.solve_with(tt, engine)
+    lp.solve_with_metered(tt, engine, meter)
 }
 
 /// Solves LP 6–10 at every budget of `budgets` in **one warm-started
@@ -406,16 +464,27 @@ pub fn solve_min_resource_lp(
     tt: &TwoTupleInstance,
     target: Time,
 ) -> Result<FractionalSolution, LpError> {
+    solve_min_resource_lp_metered(tt, target, None)
+}
+
+/// [`solve_min_resource_lp`] under a cooperative budget meter (see
+/// [`MakespanLp::solve_with_metered`]).
+pub fn solve_min_resource_lp_metered(
+    tt: &TwoTupleInstance,
+    target: Time,
+    meter: Option<&rtt_budget::BudgetMeter>,
+) -> Result<FractionalSolution, LpError> {
     let mut shape = build_shape(tt);
     let t_sink = shape.time_var[tt.sink.index()].expect("sink is not the source");
     shape.problem.add_le(&[(t_sink, 1.0)], clamp_time(target));
     for &e in tt.dag.out_edges(tt.source) {
         shape.problem.set_objective(e.index(), 1.0);
     }
-    match shape.problem.solve() {
+    match shape.problem.solve_with_metered(Engine::Revised, meter) {
         Outcome::Optimal(s) => Ok(extract(tt, shape.n_edges, &shape.time_var, s)),
         Outcome::Infeasible => Err(LpError::Infeasible),
         Outcome::Unbounded => Err(LpError::Unbounded),
+        Outcome::Exhausted(e) => Err(LpError::Exhausted(e)),
     }
 }
 

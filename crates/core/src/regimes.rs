@@ -23,9 +23,10 @@
 use crate::instance::ArcInstance;
 use crate::lp_build::{FractionalSolution, LpError, LP_BIG};
 use crate::transform::{expand_two_tuples, TwoTupleInstance};
+use rtt_budget::{BudgetMeter, Exhausted};
 use rtt_dag::sp::{decompose, SpKind, SpTree};
 use rtt_duration::{Resource, Time};
-use rtt_lp::{Outcome, Problem};
+use rtt_lp::{Engine, Outcome, Problem};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -129,6 +130,19 @@ fn noreuse_solution_from_levels(arc: &ArcInstance, levels: Vec<Resource>) -> NoR
 /// Exponential — use on the same small instances as
 /// [`crate::exact::solve_exact`].
 pub fn solve_noreuse_exact(arc: &ArcInstance, budget: Resource) -> NoReuseSolution {
+    solve_noreuse_exact_metered(arc, budget, None)
+        .expect("an unmetered search cannot exhaust")
+}
+
+/// [`solve_noreuse_exact`] under a cooperative budget meter: every
+/// branch-and-bound node charges one `dp_merge_steps` unit (the
+/// combinatorial-work dimension), so a runaway search bails out with a
+/// typed [`Exhausted`] instead of exploring on.
+pub fn solve_noreuse_exact_metered(
+    arc: &ArcInstance,
+    budget: Resource,
+    meter: Option<&BudgetMeter>,
+) -> Result<NoReuseSolution, Exhausted> {
     let d = arc.dag();
     let jobs = arc.improvable_edges();
     let min_time: Vec<Time> = d.edge_ids().map(|e| d.edge(e).duration.min_time()).collect();
@@ -141,6 +155,7 @@ pub fn solve_noreuse_exact(arc: &ArcInstance, budget: Resource) -> NoReuseSoluti
         min_time: &'a [Time],
         best_levels: Vec<Resource>,
         best_makespan: Time,
+        meter: Option<&'a BudgetMeter>,
     }
 
     impl St<'_> {
@@ -160,9 +175,12 @@ pub fn solve_noreuse_exact(arc: &ArcInstance, budget: Resource) -> NoReuseSoluti
         }
     }
 
-    fn dfs(st: &mut St, idx: usize, remaining: Resource) {
+    fn dfs(st: &mut St, idx: usize, remaining: Resource) -> Result<(), Exhausted> {
+        if let Some(m) = st.meter {
+            m.charge_merge_steps(1)?;
+        }
         if st.lb() >= st.best_makespan {
-            return;
+            return Ok(());
         }
         if idx == st.jobs.len() {
             let ms = st.lb(); // all decided: lb == actual makespan
@@ -170,7 +188,7 @@ pub fn solve_noreuse_exact(arc: &ArcInstance, budget: Resource) -> NoReuseSoluti
                 st.best_makespan = ms;
                 st.best_levels = st.levels.clone();
             }
-            return;
+            return Ok(());
         }
         let e = st.jobs[idx];
         let ei = e.index();
@@ -185,10 +203,11 @@ pub fn solve_noreuse_exact(arc: &ArcInstance, budget: Resource) -> NoReuseSoluti
         st.decided[ei] = true;
         for lvl in options {
             st.levels[ei] = lvl;
-            dfs(st, idx + 1, remaining - lvl);
+            dfs(st, idx + 1, remaining - lvl)?;
         }
         st.levels[ei] = 0;
         st.decided[ei] = false;
+        Ok(())
     }
 
     let mut st = St {
@@ -199,10 +218,11 @@ pub fn solve_noreuse_exact(arc: &ArcInstance, budget: Resource) -> NoReuseSoluti
         min_time: &min_time,
         best_levels: vec![0; d.edge_count()],
         best_makespan: arc.base_makespan(),
+        meter,
     };
-    dfs(&mut st, 0, budget);
+    dfs(&mut st, 0, budget)?;
     let levels = std::mem::take(&mut st.best_levels);
-    noreuse_solution_from_levels(arc, levels)
+    Ok(noreuse_solution_from_levels(arc, levels))
 }
 
 /// Exact minimum-resource in the no-reuse regime: the smallest `Σ levels`
@@ -211,8 +231,20 @@ pub fn solve_noreuse_exact_min_resource(
     arc: &ArcInstance,
     target: Time,
 ) -> Option<NoReuseSolution> {
+    solve_noreuse_exact_min_resource_metered(arc, target, None)
+        .expect("an unmetered search cannot exhaust")
+}
+
+/// [`solve_noreuse_exact_min_resource`] under a cooperative budget
+/// meter (one `dp_merge_steps` charge per search node, as in
+/// [`solve_noreuse_exact_metered`]).
+pub fn solve_noreuse_exact_min_resource_metered(
+    arc: &ArcInstance,
+    target: Time,
+    meter: Option<&BudgetMeter>,
+) -> Result<Option<NoReuseSolution>, Exhausted> {
     if arc.ideal_makespan() > target {
-        return None;
+        return Ok(None);
     }
     let d = arc.dag();
     let jobs = arc.improvable_edges();
@@ -225,6 +257,7 @@ pub fn solve_noreuse_exact_min_resource(
         decided: Vec<bool>,
         min_time: &'a [Time],
         best: Option<(Resource, Vec<Resource>)>,
+        meter: Option<&'a BudgetMeter>,
     }
 
     impl St<'_> {
@@ -244,19 +277,22 @@ pub fn solve_noreuse_exact_min_resource(
         }
     }
 
-    fn dfs(st: &mut St, target: Time, idx: usize, spent: Resource) {
+    fn dfs(st: &mut St, target: Time, idx: usize, spent: Resource) -> Result<(), Exhausted> {
+        if let Some(m) = st.meter {
+            m.charge_merge_steps(1)?;
+        }
         if let Some((b, _)) = &st.best {
             if spent >= *b {
-                return;
+                return Ok(());
             }
         }
         if st.lb() > target {
-            return;
+            return Ok(());
         }
         if idx == st.jobs.len() {
             // all decided: lb is the true makespan and it is ≤ target
             st.best = Some((spent, st.levels.clone()));
-            return;
+            return Ok(());
         }
         let e = st.jobs[idx];
         let ei = e.index();
@@ -265,10 +301,11 @@ pub fn solve_noreuse_exact_min_resource(
         st.decided[ei] = true;
         for lvl in options {
             st.levels[ei] = lvl;
-            dfs(st, target, idx + 1, spent + lvl);
+            dfs(st, target, idx + 1, spent + lvl)?;
         }
         st.levels[ei] = 0;
         st.decided[ei] = false;
+        Ok(())
     }
 
     let mut st = St {
@@ -278,10 +315,13 @@ pub fn solve_noreuse_exact_min_resource(
         decided: vec![false; d.edge_count()],
         min_time: &min_time,
         best: None,
+        meter,
     };
-    dfs(&mut st, target, 0, 0);
-    let (_, levels) = st.best?;
-    Some(noreuse_solution_from_levels(arc, levels))
+    dfs(&mut st, target, 0, 0)?;
+    let Some((_, levels)) = st.best else {
+        return Ok(None);
+    };
+    Ok(Some(noreuse_solution_from_levels(arc, levels)))
 }
 
 /// A no-reuse approximation result with its LP certificates.
@@ -395,6 +435,16 @@ pub fn solve_noreuse_lp(
     tt: &TwoTupleInstance,
     budget: Resource,
 ) -> Result<FractionalSolution, LpError> {
+    solve_noreuse_lp_metered(tt, budget, None)
+}
+
+/// [`solve_noreuse_lp`] under a cooperative budget meter (one
+/// `lp_pivots` charge per simplex pivot).
+pub fn solve_noreuse_lp_metered(
+    tt: &TwoTupleInstance,
+    budget: Resource,
+    meter: Option<&BudgetMeter>,
+) -> Result<FractionalSolution, LpError> {
     let mut shape = build_noreuse_shape(tt);
     let buy_coeffs: Vec<(usize, f64)> = tt
         .dag
@@ -407,10 +457,11 @@ pub fn solve_noreuse_lp(
     }
     let t_sink = shape.time_var[tt.sink.index()].expect("sink is not the source");
     shape.problem.set_objective(t_sink, 1.0);
-    match shape.problem.solve() {
+    match shape.problem.solve_with_metered(Engine::Revised, meter) {
         Outcome::Optimal(s) => Ok(extract_noreuse(tt, &shape, s)),
         Outcome::Infeasible => Err(LpError::Infeasible),
         Outcome::Unbounded => Err(LpError::Unbounded),
+        Outcome::Exhausted(e) => Err(LpError::Exhausted(e)),
     }
 }
 
@@ -434,7 +485,18 @@ pub fn solve_noreuse_bicriteria_prepped(
     budget: Resource,
     alpha: f64,
 ) -> Result<NoReuseApprox, LpError> {
-    let frac = solve_noreuse_lp(tt, budget)?;
+    solve_noreuse_bicriteria_metered(arc, tt, budget, alpha, None)
+}
+
+/// [`solve_noreuse_bicriteria_prepped`] under a cooperative budget meter.
+pub fn solve_noreuse_bicriteria_metered(
+    arc: &ArcInstance,
+    tt: &TwoTupleInstance,
+    budget: Resource,
+    alpha: f64,
+    meter: Option<&BudgetMeter>,
+) -> Result<NoReuseApprox, LpError> {
+    let frac = solve_noreuse_lp_metered(tt, budget, meter)?;
     let lower = crate::rounding::alpha_round(tt, &frac, alpha);
     // collapse the per-chain purchases into per-D'-edge levels
     let d = arc.dag();

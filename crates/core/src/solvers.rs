@@ -2,9 +2,9 @@
 
 use crate::instance::ArcInstance;
 use crate::lp_build::{
-    solve_min_makespan_lp, solve_min_makespan_lp_with, solve_min_resource_lp,
-    FractionalSolution, LpError,
+    solve_min_makespan_lp_metered, solve_min_resource_lp_metered, FractionalSolution, LpError,
 };
+use rtt_budget::BudgetMeter;
 use crate::rounding::{alpha_round, route_min_flow};
 use crate::solution::Solution;
 use crate::transform::{expand_two_tuples, TwoTupleInstance};
@@ -213,7 +213,21 @@ pub fn solve_bicriteria_prepped(
     alpha: f64,
     engine: rtt_lp::Engine,
 ) -> Result<ApproxSolution, SolveError> {
-    let frac = solve_min_makespan_lp_with(tt, budget, engine)?;
+    solve_bicriteria_metered(arc, tt, budget, alpha, engine, None)
+}
+
+/// [`solve_bicriteria_prepped`] under a cooperative budget meter: the
+/// LP's pivot loops charge it and a tripped budget surfaces as
+/// [`SolveError::Lp`] with [`LpError::Exhausted`].
+pub fn solve_bicriteria_metered(
+    arc: &ArcInstance,
+    tt: &TwoTupleInstance,
+    budget: Resource,
+    alpha: f64,
+    engine: rtt_lp::Engine,
+    meter: Option<&BudgetMeter>,
+) -> Result<ApproxSolution, SolveError> {
+    let frac = solve_min_makespan_lp_metered(tt, budget, engine, meter)?;
     Ok(bicriteria_round_prepped(arc, tt, frac, alpha))
 }
 
@@ -313,8 +327,18 @@ pub fn solve_kway_5approx_prepped(
     tt: &TwoTupleInstance,
     budget: Resource,
 ) -> Result<ApproxSolution, SolveError> {
+    solve_kway_5approx_metered(arc, tt, budget, None)
+}
+
+/// [`solve_kway_5approx_prepped`] under a cooperative budget meter.
+pub fn solve_kway_5approx_metered(
+    arc: &ArcInstance,
+    tt: &TwoTupleInstance,
+    budget: Resource,
+    meter: Option<&BudgetMeter>,
+) -> Result<ApproxSolution, SolveError> {
     require_family(arc, "k-way", |k| matches!(k, DurationKind::KWay { .. }))?;
-    let frac = solve_min_makespan_lp(tt, budget)?;
+    let frac = solve_min_makespan_lp_metered(tt, budget, rtt_lp::Engine::Revised, meter)?;
     let lower = alpha_round(tt, &frac, 0.5);
     let jobs = per_job_stats(tt, &frac, &lower);
 
@@ -377,10 +401,20 @@ pub fn solve_recbinary_4approx_prepped(
     tt: &TwoTupleInstance,
     budget: Resource,
 ) -> Result<ApproxSolution, SolveError> {
+    solve_recbinary_4approx_metered(arc, tt, budget, None)
+}
+
+/// [`solve_recbinary_4approx_prepped`] under a cooperative budget meter.
+pub fn solve_recbinary_4approx_metered(
+    arc: &ArcInstance,
+    tt: &TwoTupleInstance,
+    budget: Resource,
+    meter: Option<&BudgetMeter>,
+) -> Result<ApproxSolution, SolveError> {
     require_family(arc, "recursive-binary", |k| {
         matches!(k, DurationKind::RecursiveBinary { .. })
     })?;
-    let frac = solve_min_makespan_lp(tt, budget)?;
+    let frac = solve_min_makespan_lp_metered(tt, budget, rtt_lp::Engine::Revised, meter)?;
     let lower = alpha_round(tt, &frac, 0.5);
     let jobs = per_job_stats(tt, &frac, &lower);
 
@@ -444,10 +478,20 @@ pub fn solve_recbinary_improved_prepped(
     tt: &TwoTupleInstance,
     budget: Resource,
 ) -> Result<ApproxSolution, SolveError> {
+    solve_recbinary_improved_metered(arc, tt, budget, None)
+}
+
+/// [`solve_recbinary_improved_prepped`] under a cooperative budget meter.
+pub fn solve_recbinary_improved_metered(
+    arc: &ArcInstance,
+    tt: &TwoTupleInstance,
+    budget: Resource,
+    meter: Option<&BudgetMeter>,
+) -> Result<ApproxSolution, SolveError> {
     require_family(arc, "recursive-binary", |k| {
         matches!(k, DurationKind::RecursiveBinary { .. })
     })?;
-    let frac = solve_min_makespan_lp(tt, budget)?;
+    let frac = solve_min_makespan_lp_metered(tt, budget, rtt_lp::Engine::Revised, meter)?;
     let d = arc.dag();
     let mut levels = vec![0; d.edge_count()];
     for info in &tt.chains {
@@ -511,7 +555,18 @@ pub fn min_resource_prepped(
     target: Time,
     alpha: f64,
 ) -> Result<ApproxSolution, SolveError> {
-    let frac = solve_min_resource_lp(tt, target)?;
+    min_resource_metered(arc, tt, target, alpha, None)
+}
+
+/// [`min_resource_prepped`] under a cooperative budget meter.
+pub fn min_resource_metered(
+    arc: &ArcInstance,
+    tt: &TwoTupleInstance,
+    target: Time,
+    alpha: f64,
+    meter: Option<&BudgetMeter>,
+) -> Result<ApproxSolution, SolveError> {
+    let frac = solve_min_resource_lp_metered(tt, target, meter)?;
     let lower = alpha_round(tt, &frac, alpha);
     let (used, tt_flows) = route_min_flow(tt, &lower);
     Ok(finish_on_tt(arc, tt, frac, tt_flows, used, alpha))

@@ -45,6 +45,7 @@
 
 use crate::instance::ArcInstance;
 use crate::solution::Solution;
+use rtt_budget::{BudgetMeter, Exhausted};
 use rtt_dag::sp::{decompose, SpKind, SpTree};
 use rtt_dag::EdgeId;
 use rtt_duration::{Duration, Resource, Time};
@@ -170,6 +171,11 @@ impl TableArena {
     }
 }
 
+/// Root table, optimal allocation, and work counters from one DP run —
+/// what [`solve_sp_tree_with_stats`] and [`solve_sp_tree_metered`]
+/// return.
+pub type SpDpSolution = (Vec<Time>, Vec<(EdgeId, Resource)>, SpDpStats);
+
 /// Runs the DP on an explicit decomposition tree.
 ///
 /// `duration_of(e)` supplies each leaf's duration function; `budget` is
@@ -186,9 +192,24 @@ pub fn solve_sp_tree(
 /// [`solve_sp_tree`] with work counters for benchmarking.
 pub fn solve_sp_tree_with_stats(
     tree: &SpTree,
+    duration_of: impl FnMut(EdgeId) -> Duration,
+    budget: Resource,
+) -> SpDpSolution {
+    solve_sp_tree_metered(tree, duration_of, budget, None)
+        .expect("an unmetered DP cannot exhaust")
+}
+
+/// [`solve_sp_tree_with_stats`] under a cooperative budget meter: each
+/// parallel merge charges its two-pointer step count to the
+/// `dp_merge_steps` dimension (one batched charge per node — the same
+/// quantity [`SpDpStats::merge_steps`] reports), so an over-budget DP
+/// stops at the next parallel node with a typed [`Exhausted`].
+pub fn solve_sp_tree_metered(
+    tree: &SpTree,
     mut duration_of: impl FnMut(EdgeId) -> Duration,
     budget: Resource,
-) -> (Vec<Time>, Vec<(EdgeId, Resource)>, SpDpStats) {
+    meter: Option<&BudgetMeter>,
+) -> Result<SpDpSolution, Exhausted> {
     let b = budget as usize;
     let order = tree.post_order();
     let mut stats = SpDpStats::default();
@@ -230,7 +251,11 @@ pub fn solve_sp_tree_with_stats(
                 let ty = tables[y.index()].take().expect("post-order");
                 let mut t = arena.alloc();
                 let mut choice = Vec::with_capacity(b + 1);
-                stats.merge_steps += parallel_merge_monotone(&tx, &ty, &mut t, &mut choice);
+                let steps = parallel_merge_monotone(&tx, &ty, &mut t, &mut choice);
+                stats.merge_steps += steps;
+                if let Some(m) = meter {
+                    m.charge_merge_steps(steps)?;
+                }
                 arena.recycle(tx);
                 arena.recycle(ty);
                 splits[id.index()] = Some(choice);
@@ -270,7 +295,7 @@ pub fn solve_sp_tree_with_stats(
             }
         }
     }
-    (root_table, alloc, stats)
+    Ok((root_table, alloc, stats))
 }
 
 /// The pre-optimization DP (per-node `Vec` tables, naive `O(B²)`
@@ -358,12 +383,25 @@ pub fn solve_sp_exact_with_tree(
     tree: &SpTree,
     budget: Resource,
 ) -> (SpSolution, Solution) {
+    solve_sp_exact_with_tree_metered(arc, tree, budget, None)
+        .expect("an unmetered DP cannot exhaust")
+}
+
+/// [`solve_sp_exact_with_tree`] under a cooperative budget meter (see
+/// [`solve_sp_tree_metered`] for the charging scheme).
+pub fn solve_sp_exact_with_tree_metered(
+    arc: &ArcInstance,
+    tree: &SpTree,
+    budget: Resource,
+    meter: Option<&BudgetMeter>,
+) -> Result<(SpSolution, Solution), Exhausted> {
     let d = arc.dag();
-    let (curve, alloc) = solve_sp_tree(
+    let (curve, alloc, _) = solve_sp_tree_metered(
         tree,
         |e| d.edge(e).duration.clone(),
         budget,
-    );
+        meter,
+    )?;
     let makespan = curve[budget as usize];
     let mut levels = vec![0u64; d.edge_count()];
     for (e, r) in &alloc {
@@ -394,7 +432,7 @@ pub fn solve_sp_exact_with_tree(
         .expect("acyclic")
         .weight;
     debug_assert_eq!(recomputed, makespan, "DP value must match its allocation");
-    (
+    Ok((
         SpSolution {
             makespan,
             curve,
@@ -406,7 +444,7 @@ pub fn solve_sp_exact_with_tree(
             makespan: recomputed,
             budget_used: flow.value,
         },
-    )
+    ))
 }
 
 /// Exact minimum-resource for a series-parallel instance: the smallest
@@ -417,13 +455,28 @@ pub fn sp_min_resource(
     target: Time,
     budget_cap: Resource,
 ) -> Option<Resource> {
+    sp_min_resource_metered(arc, target, budget_cap, None)
+        .expect("an unmetered DP cannot exhaust")
+}
+
+/// [`sp_min_resource`] under a cooperative budget meter (see
+/// [`solve_sp_tree_metered`] for the charging scheme).
+pub fn sp_min_resource_metered(
+    arc: &ArcInstance,
+    target: Time,
+    budget_cap: Resource,
+    meter: Option<&BudgetMeter>,
+) -> Result<Option<Resource>, Exhausted> {
     let d = arc.dag();
-    let tree = decompose(d, arc.source(), arc.sink())?;
-    let (curve, _) = solve_sp_tree(&tree, |e| d.edge(e).duration.clone(), budget_cap);
-    curve
+    let Some(tree) = decompose(d, arc.source(), arc.sink()) else {
+        return Ok(None);
+    };
+    let (curve, _, _) =
+        solve_sp_tree_metered(&tree, |e| d.edge(e).duration.clone(), budget_cap, meter)?;
+    Ok(curve
         .iter()
         .position(|&t| t <= target)
-        .map(|i| i as Resource)
+        .map(|i| i as Resource))
 }
 
 #[cfg(test)]

@@ -1,0 +1,352 @@
+//! Request-level budget policy: limits, exhaustion policies, and the
+//! per-request [`BudgetContext`] the executor threads into every solve.
+//!
+//! The metering mechanism lives in `rtt_budget` (below every solver
+//! crate); *policy* lives here. A [`SolveRequest`](crate::SolveRequest)
+//! may carry a [`BudgetSpec`]: hard limits per dimension plus an
+//! [`ExhaustionPolicy`] per dimension saying what the engine does when
+//! a limit trips mid-solve:
+//!
+//! * [`ExhaustionPolicy::HardReject`] — the report fails with
+//!   [`Status::BudgetExhausted`](crate::Status::BudgetExhausted) and a
+//!   structured reason (dimension, limit, consumed);
+//! * [`ExhaustionPolicy::Degrade`] — the executor falls back along a
+//!   declared chain (`exact` → `bicriteria`, `sp-dp` → `bicriteria`,
+//!   `noreuse-exact` → `noreuse-bicriteria`; a full simulation
+//!   certificate degrades to analytic-only) and marks the report
+//!   `degraded_from`;
+//! * [`ExhaustionPolicy::SoftWarn`] — the solve runs to completion
+//!   (the limit is *not* installed on the meter) and the report is
+//!   flagged when consumption exceeded the declared limit.
+//!
+//! Counter dimensions charge at deterministic points, so rejection,
+//! degradation, and warnings are all byte-stable across thread counts.
+//! The wall-clock deadline and cooperative cancellation are the two
+//! intentionally non-deterministic dimensions and stay off the wire,
+//! like `deadline_ms` today.
+
+use rtt_budget::{BudgetMeter, Consumed, Dimension};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-dimension hard limits a request declares. `None` = unlimited.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BudgetLimits {
+    /// Cap on simplex pivots + bound flips across every LP the request
+    /// solves.
+    pub lp_pivots: Option<u64>,
+    /// Cap on combinatorial solver work (SP-DP merge steps and
+    /// exact-search nodes — the unified `work` dimension).
+    pub dp_merge_steps: Option<u64>,
+    /// Cap on Observation 1.1 certification simulation events.
+    pub sim_events: Option<u64>,
+    /// Admission bound: reject if this many requests were enqueued
+    /// ahead of this one (checked once at dispatch, never mid-solve).
+    pub queue_depth: Option<u64>,
+}
+
+impl BudgetLimits {
+    /// Whether no limit is set on any dimension.
+    pub fn is_empty(&self) -> bool {
+        self.lp_pivots.is_none()
+            && self.dp_merge_steps.is_none()
+            && self.sim_events.is_none()
+            && self.queue_depth.is_none()
+    }
+
+    /// The declared limit for a dimension (`None` for unlimited or for
+    /// the limitless wall-clock/cancel dimensions).
+    pub fn for_dimension(&self, dim: Dimension) -> Option<u64> {
+        match dim {
+            Dimension::LpPivots => self.lp_pivots,
+            Dimension::DpMergeSteps => self.dp_merge_steps,
+            Dimension::SimEvents => self.sim_events,
+            Dimension::QueueDepth => self.queue_depth,
+            Dimension::WallClock | Dimension::Cancelled => None,
+        }
+    }
+}
+
+/// What the engine does when a budget dimension runs out mid-solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ExhaustionPolicy {
+    /// Fail the report with [`crate::Status::BudgetExhausted`] and the
+    /// structured reason.
+    #[default]
+    HardReject,
+    /// Fall back along the solver's declared degradation chain (or
+    /// reject if it has none); certificate exhaustion degrades the
+    /// report to analytic-only instead of failing it.
+    Degrade,
+    /// Complete the solve at full fidelity and flag the report when the
+    /// declared limit was exceeded. The limit is advisory: it is *not*
+    /// installed on the meter, so the solver never trips.
+    SoftWarn,
+}
+
+impl ExhaustionPolicy {
+    /// Stable lowercase wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExhaustionPolicy::HardReject => "hard-reject",
+            ExhaustionPolicy::Degrade => "degrade",
+            ExhaustionPolicy::SoftWarn => "soft-warn",
+        }
+    }
+
+    /// Parses a wire name (see [`ExhaustionPolicy::as_str`]).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "hard-reject" => Ok(ExhaustionPolicy::HardReject),
+            "degrade" => Ok(ExhaustionPolicy::Degrade),
+            "soft-warn" => Ok(ExhaustionPolicy::SoftWarn),
+            other => Err(format!(
+                "unknown exhaustion policy {other:?} (expected hard-reject, degrade, or soft-warn)"
+            )),
+        }
+    }
+}
+
+/// Per-dimension exhaustion policies. Wall-clock and cancellation are
+/// always hard (they reuse the deadline machinery and cannot be
+/// degraded around), so only the counter dimensions are configurable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BudgetPolicies {
+    /// Policy when the pivot cap trips.
+    pub lp_pivots: ExhaustionPolicy,
+    /// Policy when the combinatorial-work cap trips.
+    pub dp_merge_steps: ExhaustionPolicy,
+    /// Policy when the simulation-event cap trips.
+    pub sim_events: ExhaustionPolicy,
+    /// Policy when the queue-depth bound trips at dispatch.
+    pub queue_depth: ExhaustionPolicy,
+}
+
+impl BudgetPolicies {
+    /// The same policy on every configurable dimension.
+    pub fn uniform(p: ExhaustionPolicy) -> Self {
+        BudgetPolicies {
+            lp_pivots: p,
+            dp_merge_steps: p,
+            sim_events: p,
+            queue_depth: p,
+        }
+    }
+
+    /// The policy governing a dimension. Wall-clock and cancellation
+    /// always hard-reject (mapped onto the deadline machinery).
+    pub fn for_dimension(&self, dim: Dimension) -> ExhaustionPolicy {
+        match dim {
+            Dimension::LpPivots => self.lp_pivots,
+            Dimension::DpMergeSteps => self.dp_merge_steps,
+            Dimension::SimEvents => self.sim_events,
+            Dimension::QueueDepth => self.queue_depth,
+            Dimension::WallClock | Dimension::Cancelled => ExhaustionPolicy::HardReject,
+        }
+    }
+}
+
+/// The budget a request declares: limits plus per-dimension policies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BudgetSpec {
+    /// Per-dimension hard limits.
+    pub limits: BudgetLimits,
+    /// Per-dimension exhaustion policies.
+    pub policies: BudgetPolicies,
+}
+
+impl BudgetSpec {
+    /// A spec with the given limits and [`ExhaustionPolicy::HardReject`]
+    /// everywhere.
+    pub fn with_limits(limits: BudgetLimits) -> Self {
+        BudgetSpec {
+            limits,
+            policies: BudgetPolicies::default(),
+        }
+    }
+}
+
+/// The per-(request, solver) enforcement state the executor builds:
+/// the meter (if the request declared any enforceable limit) plus the
+/// spec the report is judged against afterwards.
+///
+/// The meter is `Arc`-shared so the executor can keep a cancellation
+/// handle while the solver borrows the meter — raising
+/// [`BudgetMeter::cancel`] from another thread unwinds the solve at
+/// its next periodic check.
+#[derive(Debug, Default)]
+pub struct BudgetContext {
+    meter: Option<Arc<BudgetMeter>>,
+    spec: Option<BudgetSpec>,
+}
+
+impl BudgetContext {
+    /// A context with no budget: solvers see no meter, reports carry no
+    /// budget block — the pre-budget engine behavior, byte for byte.
+    pub fn unbudgeted() -> Self {
+        Self::default()
+    }
+
+    /// Builds the context for a request. A meter is created only when
+    /// the request declares a budget; a dimension's limit is installed
+    /// on the meter only under `HardReject`/`Degrade` (a `SoftWarn`
+    /// limit is advisory and judged post-solve, so the solver must not
+    /// trip on it). The request deadline becomes the meter's mid-solve
+    /// wall-clock deadline only when a budget is declared — deadline-
+    /// only requests keep the legacy at-dequeue-only enforcement.
+    pub fn for_request(req: &crate::SolveRequest, queued_at: Instant) -> Self {
+        let Some(spec) = req.budget else {
+            return Self::unbudgeted();
+        };
+        let enforceable = |limit: Option<u64>, policy: ExhaustionPolicy| match policy {
+            ExhaustionPolicy::SoftWarn => None,
+            _ => limit,
+        };
+        let meter = BudgetMeter::with_limits(
+            enforceable(spec.limits.lp_pivots, spec.policies.lp_pivots),
+            enforceable(spec.limits.dp_merge_steps, spec.policies.dp_merge_steps),
+            enforceable(spec.limits.sim_events, spec.policies.sim_events),
+            req.deadline.map(|d| queued_at + d),
+        );
+        BudgetContext {
+            meter: Some(Arc::new(meter)),
+            spec: Some(spec),
+        }
+    }
+
+    /// The meter to thread into solvers (`None` when unbudgeted).
+    pub fn meter(&self) -> Option<&BudgetMeter> {
+        self.meter.as_deref()
+    }
+
+    /// A shareable cancellation handle, for callers that want to unwind
+    /// this request's solve from another thread.
+    pub fn cancel_handle(&self) -> Option<Arc<BudgetMeter>> {
+        self.meter.clone()
+    }
+
+    /// The declared spec (`None` when unbudgeted).
+    pub fn spec(&self) -> Option<&BudgetSpec> {
+        self.spec.as_ref()
+    }
+
+    /// Consumption so far (zeros when unbudgeted).
+    pub fn consumed(&self) -> Consumed {
+        self.meter
+            .as_deref()
+            .map(BudgetMeter::consumed)
+            .unwrap_or_default()
+    }
+}
+
+/// The wire-visible budget block of a report: what was consumed, what
+/// was declared, and any soft-warn/degradation flags. Present exactly
+/// when the request declared a [`BudgetSpec`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BudgetReport {
+    /// Consumption counters at report time (cumulative across the
+    /// request's whole solve, fallback included).
+    pub consumed: Consumed,
+    /// The limits the request declared.
+    pub limits: BudgetLimits,
+    /// Soft-warn flags: one `"<dimension> <consumed> > limit <limit>"`
+    /// entry per advisory limit the solve exceeded.
+    pub warnings: Vec<String>,
+    /// Degradations applied while still reporting `solved` (e.g.
+    /// `"certificate degraded to analytic-only: sim_events … > limit …"`).
+    pub degraded: Vec<String>,
+}
+
+impl BudgetReport {
+    /// Builds the block from the context after the solve, computing
+    /// soft-warn flags by comparing consumption against the advisory
+    /// limits. `degraded` notes are appended by the executor.
+    pub fn from_context(ctx: &BudgetContext) -> Option<Self> {
+        let spec = ctx.spec?;
+        let consumed = ctx.consumed();
+        let mut warnings = Vec::new();
+        let mut warn = |dim: Dimension, used: u64| {
+            if spec.policies.for_dimension(dim) == ExhaustionPolicy::SoftWarn {
+                if let Some(limit) = spec.limits.for_dimension(dim) {
+                    if used > limit {
+                        warnings.push(format!("{dim} {used} > limit {limit}"));
+                    }
+                }
+            }
+        };
+        warn(Dimension::LpPivots, consumed.lp_pivots);
+        warn(Dimension::DpMergeSteps, consumed.dp_merge_steps);
+        warn(Dimension::SimEvents, consumed.sim_events);
+        Some(BudgetReport {
+            consumed,
+            limits: spec.limits,
+            warnings,
+            degraded: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtt_budget::Exhausted;
+
+    #[test]
+    fn policy_wire_names_round_trip() {
+        for p in [
+            ExhaustionPolicy::HardReject,
+            ExhaustionPolicy::Degrade,
+            ExhaustionPolicy::SoftWarn,
+        ] {
+            assert_eq!(ExhaustionPolicy::parse(p.as_str()), Ok(p));
+        }
+        assert!(ExhaustionPolicy::parse("never").is_err());
+    }
+
+    #[test]
+    fn soft_warn_limits_stay_off_the_meter() {
+        let spec = BudgetSpec {
+            limits: BudgetLimits {
+                lp_pivots: Some(5),
+                ..Default::default()
+            },
+            policies: BudgetPolicies::uniform(ExhaustionPolicy::SoftWarn),
+        };
+        let enforceable = |limit: Option<u64>, policy: ExhaustionPolicy| match policy {
+            ExhaustionPolicy::SoftWarn => None,
+            _ => limit,
+        };
+        assert_eq!(
+            enforceable(spec.limits.lp_pivots, spec.policies.lp_pivots),
+            None
+        );
+        assert_eq!(
+            enforceable(spec.limits.lp_pivots, ExhaustionPolicy::HardReject),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn budget_report_flags_soft_warn_overage() {
+        let _ = Exhausted {
+            dimension: Dimension::LpPivots,
+            limit: 1,
+            consumed: 2,
+        };
+        let spec = BudgetSpec {
+            limits: BudgetLimits {
+                lp_pivots: Some(3),
+                ..Default::default()
+            },
+            policies: BudgetPolicies::uniform(ExhaustionPolicy::SoftWarn),
+        };
+        let ctx = BudgetContext {
+            meter: Some(Arc::new(BudgetMeter::unlimited())),
+            spec: Some(spec),
+        };
+        ctx.meter().unwrap().charge_lp_pivots(7).unwrap();
+        let block = BudgetReport::from_context(&ctx).unwrap();
+        assert_eq!(block.warnings, vec!["lp_pivots 7 > limit 3".to_string()]);
+        assert_eq!(block.consumed.lp_pivots, 7);
+    }
+}

@@ -58,6 +58,7 @@
 //! the event count that only pathological expansions (more arcs than
 //! any instance this repo serves) can reach.
 
+use rtt_budget::{BudgetMeter, Exhausted};
 use rtt_core::{ArcInstance, GlobalSchedule, NoReuseSolution, Solution};
 use rtt_duration::{
     is_infinite, raw_kway_time, raw_recursive_binary_time, recursive_binary_max_height,
@@ -327,30 +328,34 @@ pub fn expand_levels(
 }
 
 /// Expands, replays on the event engine, and wraps the result — shared
-/// by the three per-form certifiers. `None` when the claimed durations
-/// are infinite or the expansion exceeds [`SIM_EVENT_GUARD`].
+/// by the three per-form certifiers. `Ok(None)` when the claimed
+/// durations are infinite or the expansion exceeds [`SIM_EVENT_GUARD`]
+/// (the soft guard predates budgets and stays as the absolute
+/// backstop); `Err` when a metered replay exhausts its `sim_events`
+/// budget mid-simulation.
 fn certify_expansion(
     arc: &ArcInstance,
     edge_times: &[Time],
     levels: &[Resource],
     bound: Time,
-) -> Option<SimCertificate> {
+    meter: Option<&BudgetMeter>,
+) -> Result<Option<SimCertificate>, Exhausted> {
     if is_infinite(bound) || edge_times.iter().any(|&t| is_infinite(t)) {
-        return None;
+        return Ok(None);
     }
     let (g, works) = expand_levels(arc, edge_times, levels);
     let model = ExecModel::from_works(&g, &works);
     if model.event_count() > SIM_EVENT_GUARD {
-        return None;
+        return Ok(None);
     }
-    let res = model.run_event();
-    Some(SimCertificate {
+    let res = model.run_event_metered(meter)?;
+    Ok(Some(SimCertificate {
         simulated: res.finish,
         bound,
         expanded_nodes: g.node_count(),
         expanded_updates: res.updates_applied,
         peak_parallelism: res.peak_parallelism,
-    })
+    }))
 }
 
 /// Simulates the reducer expansion of a routed `sol` (each arc at its
@@ -358,7 +363,19 @@ fn certify_expansion(
 /// when the solution cannot be simulated (infinite durations, or an
 /// expansion past [`SIM_EVENT_GUARD`]).
 pub fn certify_solution(arc: &ArcInstance, sol: &Solution) -> Option<SimCertificate> {
-    certify_expansion(arc, &sol.edge_times, &sol.arc_flows, sol.makespan)
+    certify_solution_metered(arc, sol, None).expect("an unmetered replay cannot exhaust")
+}
+
+/// [`certify_solution`] under a cooperative budget meter: the replay
+/// charges `sim_events` (one per heap pop plus its released
+/// successors) and bails out with a typed [`Exhausted`] when the
+/// request's event budget trips.
+pub fn certify_solution_metered(
+    arc: &ArcInstance,
+    sol: &Solution,
+    meter: Option<&BudgetMeter>,
+) -> Result<Option<SimCertificate>, Exhausted> {
+    certify_expansion(arc, &sol.edge_times, &sol.arc_flows, sol.makespan, meter)
 }
 
 /// Simulates the reducer expansion of a no-reuse solution (Q1.1): each
@@ -367,7 +384,17 @@ pub fn certify_solution(arc: &ArcInstance, sol: &Solution) -> Option<SimCertific
 /// checks exactly that), so every expanded path is within the claimed
 /// makespan and the replay can only pipeline below it.
 pub fn certify_noreuse(arc: &ArcInstance, sol: &NoReuseSolution) -> Option<SimCertificate> {
-    certify_expansion(arc, &sol.edge_times, &sol.levels, sol.makespan)
+    certify_noreuse_metered(arc, sol, None).expect("an unmetered replay cannot exhaust")
+}
+
+/// [`certify_noreuse`] under a cooperative budget meter (see
+/// [`certify_solution_metered`] for the charging scheme).
+pub fn certify_noreuse_metered(
+    arc: &ArcInstance,
+    sol: &NoReuseSolution,
+    meter: Option<&BudgetMeter>,
+) -> Result<Option<SimCertificate>, Exhausted> {
+    certify_expansion(arc, &sol.edge_times, &sol.levels, sol.makespan, meter)
 }
 
 /// Schedule-granular replay of a global-pool schedule (Q1.2): each arc
@@ -381,28 +408,45 @@ pub fn certify_noreuse(arc: &ArcInstance, sol: &NoReuseSolution) -> Option<SimCe
 /// Observation 1.1. (The pool constraint itself is the *analytic*
 /// verifier's job; the replay certifies the physical execution.)
 pub fn certify_schedule(arc: &ArcInstance, s: &GlobalSchedule) -> Option<SimCertificate> {
+    certify_schedule_metered(arc, s, None).expect("an unmetered replay cannot exhaust")
+}
+
+/// [`certify_schedule`] under a cooperative budget meter (see
+/// [`certify_solution_metered`] for the charging scheme).
+pub fn certify_schedule_metered(
+    arc: &ArcInstance,
+    s: &GlobalSchedule,
+    meter: Option<&BudgetMeter>,
+) -> Result<Option<SimCertificate>, Exhausted> {
     let d = arc.dag();
     let times: Vec<Time> = d
         .edge_ids()
         .map(|e| arc.arc_time(e, s.level[e.index()]))
         .collect();
-    certify_expansion(arc, &times, &s.level, s.makespan)
+    certify_expansion(arc, &times, &s.level, s.makespan, meter)
 }
 
 /// Attaches the simulation certificate to a solved report — whichever
 /// solution form it carries (routed flow, no-reuse levels, or a global
 /// schedule) — panicking if Observation 1.1 fails (an engine bug,
-/// treated like every other certification failure).
-pub(crate) fn attach(arc: &ArcInstance, report: &mut crate::SolveReport) {
+/// treated like every other certification failure). A metered replay
+/// that exhausts its `sim_events` budget returns the typed error with
+/// `report.sim` left `None`; the executor applies the request's
+/// exhaustion policy (degrade to analytic-only, or fail the report).
+pub(crate) fn attach(
+    arc: &ArcInstance,
+    report: &mut crate::SolveReport,
+    meter: Option<&BudgetMeter>,
+) -> Result<(), Exhausted> {
     if report.status != crate::Status::Solved {
-        return;
+        return Ok(());
     }
     let cert = if let Some(sol) = &report.solution {
-        certify_solution(arc, sol)
+        certify_solution_metered(arc, sol, meter)?
     } else if let Some(nr) = &report.noreuse {
-        certify_noreuse(arc, nr)
+        certify_noreuse_metered(arc, nr, meter)?
     } else if let Some(s) = &report.schedule {
-        certify_schedule(arc, s)
+        certify_schedule_metered(arc, s, meter)?
     } else {
         None
     };
@@ -418,6 +462,7 @@ pub(crate) fn attach(arc: &ArcInstance, report: &mut crate::SolveReport) {
         );
         report.sim = Some(cert);
     }
+    Ok(())
 }
 
 #[cfg(test)]

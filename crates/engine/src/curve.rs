@@ -15,8 +15,10 @@
 //! ([`crate::prep::LpWarmState`]), so a later sweep on the same
 //! instance warm-starts across requests too.
 
+use crate::budget::BudgetContext;
 use crate::prep::PreparedInstance;
 use crate::request::{SolveRequest, SolveReport, Status};
+use rtt_budget::BudgetMeter;
 use rtt_core::lp_build::LpError;
 use rtt_core::{validate, Resource};
 
@@ -51,11 +53,24 @@ pub fn solve_curve(
     budgets: &[Resource],
     alpha: f64,
 ) -> Result<Vec<CurvePoint>, LpError> {
+    solve_curve_metered(prep, budgets, alpha, None)
+}
+
+/// [`solve_curve`] under a cooperative budget meter: the warm LP chain
+/// charges `lp_pivots` and each point's certification replay charges
+/// `sim_events`; exhaustion surfaces as [`LpError::Exhausted`] with the
+/// warm state already parked.
+pub fn solve_curve_metered(
+    prep: &PreparedInstance,
+    budgets: &[Resource],
+    alpha: f64,
+    meter: Option<&BudgetMeter>,
+) -> Result<Vec<CurvePoint>, LpError> {
     let arc = prep.arc();
     let tt = prep.tt();
     let mut state = prep.take_lp_warm();
     let had_basis = state.basis.is_some();
-    let swept = state.lp.solve_sweep(tt, budgets, state.basis.as_ref());
+    let swept = state.lp.solve_sweep_metered(tt, budgets, state.basis.as_ref(), meter);
     let (points, basis) = match swept {
         Ok(r) => r,
         Err(e) => {
@@ -73,7 +88,8 @@ pub fn solve_curve(
         let (lp_makespan, lp_budget) = (frac.makespan, frac.budget_used);
         let approx = rtt_core::bicriteria_round_prepped(arc, tt, frac, alpha);
         validate(arc, &approx.solution).expect("curve rounding produced an invalid solution");
-        let sim = crate::certify::certify_solution(arc, &approx.solution);
+        let sim = crate::certify::certify_solution_metered(arc, &approx.solution, meter)
+            .map_err(LpError::Exhausted)?;
         if let Some(cert) = &sim {
             assert!(
                 cert.holds(),
@@ -100,9 +116,13 @@ pub fn solve_curve(
 /// Expands a sweep request into per-point [`SolveReport`]s (one per
 /// budget, in grid order) — the executor's dispatch target for
 /// [`crate::Objective::MakespanSweep`].
-pub fn execute_sweep(req: &SolveRequest, budgets: &[Resource]) -> Vec<SolveReport> {
+pub fn execute_sweep(
+    req: &SolveRequest,
+    budgets: &[Resource],
+    ctx: &BudgetContext,
+) -> Vec<SolveReport> {
     const SOLVER: &str = "bicriteria";
-    match solve_curve(&req.prepared, budgets, req.alpha) {
+    match solve_curve_metered(&req.prepared, budgets, req.alpha, ctx.meter()) {
         Ok(points) => points
             .into_iter()
             .map(|p| {
@@ -124,6 +144,9 @@ pub fn execute_sweep(req: &SolveRequest, budgets: &[Resource]) -> Vec<SolveRepor
             Status::Infeasible,
             "curve LP infeasible",
         )],
+        // a whole-curve exhaustion is one failure report: the chain is
+        // a single request-level computation, not per-point solves
+        Err(LpError::Exhausted(e)) => vec![crate::solver::report_exhausted(req, SOLVER, e)],
         Err(e) => vec![SolveReport::new(
             req.id.clone(),
             SOLVER,

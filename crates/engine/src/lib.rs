@@ -7,7 +7,7 @@
 //! them behind one seam:
 //!
 //! * [`Solver`] — the uniform trait: `name()`, `supports()`, and
-//!   `solve(&SolveRequest) -> SolveReport`;
+//!   `solve(&SolveRequest, &BudgetContext) -> SolveReport`;
 //! * [`Registry`] — every registered algorithm, addressable by name and
 //!   enumerable (`rtt_cli`'s `--solver` dispatch and the batch `all`
 //!   fan-out both walk it);
@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod certify;
 pub mod curve;
 pub mod executor;
@@ -59,13 +60,17 @@ pub mod registry;
 pub mod request;
 pub mod solver;
 
-pub use certify::{
-    certify_noreuse, certify_schedule, certify_solution, expand_levels, expand_solution,
-    SimCertificate, SIM_EVENT_GUARD,
+pub use budget::{
+    BudgetContext, BudgetLimits, BudgetPolicies, BudgetReport, BudgetSpec, ExhaustionPolicy,
 };
-pub use curve::{solve_curve, CurvePoint};
-pub use executor::{execute_one, run_batch, BatchOutcome, BatchStats};
+pub use certify::{
+    certify_noreuse, certify_noreuse_metered, certify_schedule, certify_schedule_metered,
+    certify_solution, certify_solution_metered, expand_levels, expand_solution, SimCertificate,
+    SIM_EVENT_GUARD,
+};
+pub use curve::{solve_curve, solve_curve_metered, CurvePoint};
+pub use executor::{execute_one, execute_one_at, run_batch, BatchOutcome, BatchStats};
 pub use prep::{CacheStats, LpWarmState, PrepCache, PreparedInstance};
 pub use registry::{canonical_name, Registry};
 pub use request::{Objective, SolveReport, SolveRequest, SolverSelection, Status};
-pub use solver::{Capability, SolutionForm, Solver};
+pub use solver::{AlwaysExhaustSolver, AlwaysPanicSolver, Capability, SolutionForm, Solver};

@@ -58,11 +58,17 @@ pub struct SolveRequest {
     pub solver: SolverSelection,
     /// Per-request deadline, measured from enqueue time. A request
     /// still queued when its deadline passes is reported as
-    /// [`Status::DeadlineExpired`] without running.
+    /// [`Status::DeadlineExpired`] without running — and, when the
+    /// request also declares a [`SolveRequest::budget`], the deadline is
+    /// additionally enforced *mid-solve* through the budget meter.
     pub deadline: Option<StdDuration>,
     /// Seed echoed into reports (reserved for randomized solvers; every
     /// current solver is deterministic).
     pub seed: u64,
+    /// Resource budget (per-dimension limits + exhaustion policies).
+    /// `None` — the default and every constructor's choice — runs the
+    /// pre-budget engine behavior byte for byte.
+    pub budget: Option<crate::budget::BudgetSpec>,
 }
 
 impl SolveRequest {
@@ -81,6 +87,7 @@ impl SolveRequest {
             solver: SolverSelection::All,
             deadline: None,
             seed: 0,
+            budget: None,
         }
     }
 
@@ -98,6 +105,7 @@ impl SolveRequest {
             solver: SolverSelection::All,
             deadline: None,
             seed: 0,
+            budget: None,
         }
     }
 
@@ -117,6 +125,7 @@ impl SolveRequest {
             solver: SolverSelection::Named("bicriteria".into()),
             deadline: None,
             seed: 0,
+            budget: None,
         }
     }
 
@@ -139,6 +148,14 @@ pub enum Status {
     Infeasible,
     /// The request's deadline passed before the solver started.
     DeadlineExpired,
+    /// A declared resource budget ran out mid-solve under the
+    /// hard-reject policy (or degrade with no fallback); the structured
+    /// reason is in [`SolveReport::exhausted`].
+    BudgetExhausted,
+    /// The solver panicked; the executor isolated it and reported the
+    /// panic payload in [`SolveReport::detail`] instead of killing the
+    /// batch.
+    Failed,
 }
 
 impl Status {
@@ -149,6 +166,8 @@ impl Status {
             Status::Unsupported => "unsupported",
             Status::Infeasible => "infeasible",
             Status::DeadlineExpired => "deadline-expired",
+            Status::BudgetExhausted => "budget-exhausted",
+            Status::Failed => "failed",
         }
     }
 }
@@ -213,6 +232,21 @@ pub struct SolveReport {
     pub wall: StdDuration,
     /// Time the request spent queued before the solve started.
     pub queue_wait: StdDuration,
+    /// Budget consumed/declared/flagged, present exactly when the
+    /// request declared a [`crate::budget::BudgetSpec`]. Counter
+    /// dimensions are deterministic, so this block is part of the
+    /// byte-stable wire format.
+    pub budget: Option<crate::budget::BudgetReport>,
+    /// When the degrade policy fell back, the registry name of the
+    /// solver that originally exhausted (the report's `solver` is the
+    /// fallback that actually answered).
+    pub degraded_from: Option<&'static str>,
+    /// The structured exhaustion that terminated the solve, for
+    /// [`Status::BudgetExhausted`] reports.
+    pub exhausted: Option<rtt_budget::Exhausted>,
+    /// Whether this report came from an isolated solver panic
+    /// ([`Status::Failed`]).
+    pub panicked: bool,
 }
 
 impl SolveReport {
@@ -244,6 +278,10 @@ impl SolveReport {
             sim: None,
             wall: StdDuration::ZERO,
             queue_wait: StdDuration::ZERO,
+            budget: None,
+            degraded_from: None,
+            exhausted: None,
+            panicked: false,
         }
     }
 }

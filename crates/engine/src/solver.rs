@@ -25,12 +25,15 @@
 //! A certification failure is an engine bug and panics rather than
 //! returning silently wrong data.
 
+use crate::budget::BudgetContext;
 use crate::request::{Objective, SolveRequest, SolveReport, Status};
+use rtt_budget::Exhausted;
 use rtt_core::regimes::{
-    solve_noreuse_exact, solve_noreuse_exact_min_resource, validate_noreuse,
+    solve_noreuse_bicriteria_metered, solve_noreuse_exact_metered,
+    solve_noreuse_exact_min_resource_metered, validate_noreuse,
 };
 use rtt_core::solvers::SolveError;
-use rtt_core::sp_dp::solve_sp_exact_with_tree;
+use rtt_core::sp_dp::{solve_sp_exact_with_tree_metered, solve_sp_tree_metered};
 use rtt_core::lp_build::LpError;
 use rtt_core::{
     validate, verify_global_schedule, ApproxSolution, ArcInstance, GlobalPolicy, Solution,
@@ -108,8 +111,14 @@ pub trait Solver: Send + Sync {
     }
 
     /// Executes the request. Never panics on unsupported input or
-    /// infeasible objectives; those come back as statuses.
-    fn solve(&self, req: &SolveRequest) -> SolveReport;
+    /// infeasible objectives; those come back as statuses. `ctx` is the
+    /// request's budget enforcement state: implementations thread
+    /// [`BudgetContext::meter`] into their compute loops and surface a
+    /// mid-solve [`rtt_budget::Exhausted`] as a
+    /// [`Status::BudgetExhausted`] report (the executor applies the
+    /// exhaustion policy on top). An unbudgeted request passes a
+    /// meterless context, which runs the legacy behavior exactly.
+    fn solve(&self, req: &SolveRequest, ctx: &BudgetContext) -> SolveReport;
 
     /// The solution object this solver's solved reports carry (see
     /// [`SolutionForm`]); defaults to a routed flow. The executor
@@ -150,12 +159,27 @@ fn report_approx(req: &SolveRequest, solver: &'static str, a: ApproxSolution) ->
     r
 }
 
+/// The failure report for a mid-solve budget exhaustion: the
+/// structured reason rides on the report so the executor can apply the
+/// request's exhaustion policy (reject as-is, or dispatch the degrade
+/// fallback) without re-parsing the detail string.
+pub(crate) fn report_exhausted(
+    req: &SolveRequest,
+    solver: &'static str,
+    e: Exhausted,
+) -> SolveReport {
+    let mut r = SolveReport::new(req.id.clone(), solver, Status::BudgetExhausted, e.to_string());
+    r.exhausted = Some(e);
+    r
+}
+
 fn report_lp_failure(req: &SolveRequest, solver: &'static str, e: SolveError) -> SolveReport {
     let status = match &e {
         SolveError::Lp(LpError::Infeasible) => Status::Infeasible,
         // an unbounded relaxation is a modelling bug, not a property of
         // the request — report it as the solver declining, loudly
         SolveError::Lp(LpError::Unbounded) => Status::Unsupported,
+        SolveError::Lp(LpError::Exhausted(e)) => return report_exhausted(req, solver, *e),
         SolveError::WrongFamily(_) => Status::Unsupported,
     };
     SolveReport::new(req.id.clone(), solver, status, e.to_string())
@@ -218,13 +242,17 @@ impl Solver for ExactSolver {
         }
     }
 
-    fn solve(&self, req: &SolveRequest) -> SolveReport {
+    fn solve(&self, req: &SolveRequest, ctx: &BudgetContext) -> SolveReport {
         let arc = req.prepared.arc();
+        let meter = ctx.meter();
         let mut r = report_skeleton(req, self.name());
         match req.objective {
             Objective::MakespanSweep { .. } => return unsupported_sweep(req, self.name()),
             Objective::MinMakespan { budget } => {
-                let ex = rtt_core::exact::solve_exact(arc, budget);
+                let ex = match rtt_core::exact::solve_exact_metered(arc, budget, meter) {
+                    Ok(ex) => ex,
+                    Err(e) => return report_exhausted(req, self.name(), e),
+                };
                 validate(arc, &ex.solution).expect("exact produced an invalid solution");
                 r.makespan = Some(ex.solution.makespan);
                 r.budget_used = Some(ex.solution.budget_used);
@@ -234,8 +262,8 @@ impl Solver for ExactSolver {
                 r.solution = Some(ex.solution);
             }
             Objective::MinResource { target } => {
-                match rtt_core::exact::solve_exact_min_resource(arc, target) {
-                    Some((needed, sol)) => {
+                match rtt_core::exact::solve_exact_min_resource_metered(arc, target, meter) {
+                    Ok(Some((needed, sol))) => {
                         validate(arc, &sol).expect("exact produced an invalid solution");
                         r.makespan = Some(sol.makespan);
                         r.budget_used = Some(needed);
@@ -243,7 +271,7 @@ impl Solver for ExactSolver {
                         r.resource_factor = Some(1.0);
                         r.solution = Some(sol);
                     }
-                    None => {
+                    Ok(None) => {
                         return SolveReport::new(
                             req.id.clone(),
                             self.name(),
@@ -251,6 +279,7 @@ impl Solver for ExactSolver {
                             "makespan target below the ideal makespan",
                         )
                     }
+                    Err(e) => return report_exhausted(req, self.name(), e),
                 }
             }
         }
@@ -271,20 +300,22 @@ impl Solver for BicriteriaSolver {
         Capability::Supported
     }
 
-    fn solve(&self, req: &SolveRequest) -> SolveReport {
+    fn solve(&self, req: &SolveRequest, ctx: &BudgetContext) -> SolveReport {
         let arc = req.prepared.arc();
         let tt = req.prepared.tt();
+        let meter = ctx.meter();
         let result = match req.objective {
             Objective::MakespanSweep { .. } => return unsupported_sweep(req, self.name()),
-            Objective::MinMakespan { budget } => rtt_core::solve_bicriteria_prepped(
+            Objective::MinMakespan { budget } => rtt_core::solvers::solve_bicriteria_metered(
                 arc,
                 tt,
                 budget,
                 req.alpha,
                 rtt_lp::Engine::Revised,
+                meter,
             ),
             Objective::MinResource { target } => {
-                rtt_core::min_resource_prepped(arc, tt, target, req.alpha)
+                rtt_core::solvers::min_resource_metered(arc, tt, target, req.alpha, meter)
             }
         };
         match result {
@@ -310,12 +341,16 @@ impl Solver for KwaySolver {
         )
     }
 
-    fn solve(&self, req: &SolveRequest) -> SolveReport {
+    fn solve(&self, req: &SolveRequest, ctx: &BudgetContext) -> SolveReport {
         let Objective::MinMakespan { budget } = req.objective else {
             return unsupported_objective(req, self.name());
         };
-        match rtt_core::solve_kway_5approx_prepped(req.prepared.arc(), req.prepared.tt(), budget)
-        {
+        match rtt_core::solvers::solve_kway_5approx_metered(
+            req.prepared.arc(),
+            req.prepared.tt(),
+            budget,
+            ctx.meter(),
+        ) {
             Ok(a) => report_approx(req, self.name(), a),
             Err(e) => report_lp_failure(req, self.name(), e),
         }
@@ -338,14 +373,15 @@ impl Solver for RecBinarySolver {
         )
     }
 
-    fn solve(&self, req: &SolveRequest) -> SolveReport {
+    fn solve(&self, req: &SolveRequest, ctx: &BudgetContext) -> SolveReport {
         let Objective::MinMakespan { budget } = req.objective else {
             return unsupported_objective(req, self.name());
         };
-        match rtt_core::solve_recbinary_4approx_prepped(
+        match rtt_core::solvers::solve_recbinary_4approx_metered(
             req.prepared.arc(),
             req.prepared.tt(),
             budget,
+            ctx.meter(),
         ) {
             Ok(a) => report_approx(req, self.name(), a),
             Err(e) => report_lp_failure(req, self.name(), e),
@@ -369,14 +405,15 @@ impl Solver for RecBinaryImprovedSolver {
         )
     }
 
-    fn solve(&self, req: &SolveRequest) -> SolveReport {
+    fn solve(&self, req: &SolveRequest, ctx: &BudgetContext) -> SolveReport {
         let Objective::MinMakespan { budget } = req.objective else {
             return unsupported_objective(req, self.name());
         };
-        match rtt_core::solve_recbinary_improved_prepped(
+        match rtt_core::solvers::solve_recbinary_improved_metered(
             req.prepared.arc(),
             req.prepared.tt(),
             budget,
+            ctx.meter(),
         ) {
             Ok(a) => report_approx(req, self.name(), a),
             Err(e) => report_lp_failure(req, self.name(), e),
@@ -424,8 +461,9 @@ impl Solver for SpDpSolver {
         }
     }
 
-    fn solve(&self, req: &SolveRequest) -> SolveReport {
+    fn solve(&self, req: &SolveRequest, ctx: &BudgetContext) -> SolveReport {
         let arc = req.prepared.arc();
+        let meter = ctx.meter();
         let Some(tree) = req.prepared.sp_tree() else {
             return SolveReport::new(
                 req.id.clone(),
@@ -437,9 +475,13 @@ impl Solver for SpDpSolver {
         match req.objective {
             Objective::MakespanSweep { .. } => unsupported_sweep(req, self.name()),
             Objective::MinMakespan { budget } => {
-                let (sp, sol) = solve_sp_exact_with_tree(arc, tree, budget);
-                let work = sp.curve.len() as u64 * tree.len() as u64;
-                Self::solved(req, self.name(), sol, work)
+                match solve_sp_exact_with_tree_metered(arc, tree, budget, meter) {
+                    Ok((sp, sol)) => {
+                        let work = sp.curve.len() as u64 * tree.len() as u64;
+                        Self::solved(req, self.name(), sol, work)
+                    }
+                    Err(e) => report_exhausted(req, self.name(), e),
+                }
             }
             Objective::MinResource { target } => {
                 // one DP run over the saturation budget yields the whole
@@ -457,17 +499,26 @@ impl Solver for SpDpSolver {
                         ),
                     );
                 }
-                let (curve, _) = rtt_core::sp_dp::solve_sp_tree(
+                let swept = solve_sp_tree_metered(
                     tree,
                     |e| arc.dag().edge(e).duration.clone(),
                     saturation,
+                    meter,
                 );
+                let (curve, _, _) = match swept {
+                    Ok(r) => r,
+                    Err(e) => return report_exhausted(req, self.name(), e),
+                };
                 match curve.iter().position(|&t| t <= target) {
                     Some(needed) => {
-                        let (sp, sol) = solve_sp_exact_with_tree(arc, tree, needed as u64);
-                        let work =
-                            (curve.len() + sp.curve.len()) as u64 * tree.len() as u64;
-                        Self::solved(req, self.name(), sol, work)
+                        match solve_sp_exact_with_tree_metered(arc, tree, needed as u64, meter) {
+                            Ok((sp, sol)) => {
+                                let work =
+                                    (curve.len() + sp.curve.len()) as u64 * tree.len() as u64;
+                                Self::solved(req, self.name(), sol, work)
+                            }
+                            Err(e) => report_exhausted(req, self.name(), e),
+                        }
                     }
                     // the saturation budget is the most that can ever
                     // help, so missing the target there is conclusive
@@ -505,13 +556,17 @@ impl Solver for NoReuseExactSolver {
         }
     }
 
-    fn solve(&self, req: &SolveRequest) -> SolveReport {
+    fn solve(&self, req: &SolveRequest, ctx: &BudgetContext) -> SolveReport {
         let arc = req.prepared.arc();
+        let meter = ctx.meter();
         let mut r = report_skeleton(req, self.name());
         match req.objective {
             Objective::MakespanSweep { .. } => return unsupported_sweep(req, self.name()),
             Objective::MinMakespan { budget } => {
-                let sol = solve_noreuse_exact(arc, budget);
+                let sol = match solve_noreuse_exact_metered(arc, budget, meter) {
+                    Ok(sol) => sol,
+                    Err(e) => return report_exhausted(req, self.name(), e),
+                };
                 validate_noreuse(arc, &sol).expect("no-reuse solver produced invalid solution");
                 r.makespan = Some(sol.makespan);
                 r.budget_used = Some(sol.budget_used);
@@ -520,8 +575,8 @@ impl Solver for NoReuseExactSolver {
                 r.noreuse = Some(sol);
             }
             Objective::MinResource { target } => {
-                match solve_noreuse_exact_min_resource(arc, target) {
-                    Some(sol) => {
+                match solve_noreuse_exact_min_resource_metered(arc, target, meter) {
+                    Ok(Some(sol)) => {
                         validate_noreuse(arc, &sol)
                             .expect("no-reuse solver produced invalid solution");
                         r.makespan = Some(sol.makespan);
@@ -530,7 +585,7 @@ impl Solver for NoReuseExactSolver {
                         r.resource_factor = Some(1.0);
                         r.noreuse = Some(sol);
                     }
-                    None => {
+                    Ok(None) => {
                         return SolveReport::new(
                             req.id.clone(),
                             self.name(),
@@ -538,6 +593,7 @@ impl Solver for NoReuseExactSolver {
                             "makespan target below the ideal makespan",
                         )
                     }
+                    Err(e) => return report_exhausted(req, self.name(), e),
                 }
             }
         }
@@ -562,13 +618,18 @@ impl Solver for NoReuseBicriteriaSolver {
         Capability::Supported
     }
 
-    fn solve(&self, req: &SolveRequest) -> SolveReport {
+    fn solve(&self, req: &SolveRequest, ctx: &BudgetContext) -> SolveReport {
         let Objective::MinMakespan { budget } = req.objective else {
             return unsupported_objective(req, self.name());
         };
         let arc = req.prepared.arc();
-        match rtt_core::solve_noreuse_bicriteria_prepped(arc, req.prepared.tt(), budget, req.alpha)
-        {
+        match solve_noreuse_bicriteria_metered(
+            arc,
+            req.prepared.tt(),
+            budget,
+            req.alpha,
+            ctx.meter(),
+        ) {
             Ok(a) => {
                 validate_noreuse(arc, &a.solution)
                     .expect("no-reuse solver produced invalid solution");
@@ -588,6 +649,7 @@ impl Solver for NoReuseBicriteriaSolver {
                 Status::Infeasible,
                 "no-reuse LP infeasible",
             ),
+            Err(LpError::Exhausted(e)) => report_exhausted(req, self.name(), e),
             // unbounded = modelling bug, mirrored from report_lp_failure
             Err(e) => SolveReport::new(
                 req.id.clone(),
@@ -617,7 +679,10 @@ impl Solver for GlobalGreedySolver {
         Capability::Supported
     }
 
-    fn solve(&self, req: &SolveRequest) -> SolveReport {
+    // the greedy list scheduler is linear in the schedule and never
+    // long-running, so it stays unmetered — only its certification
+    // replay (the executor's sim_events dimension) is budgeted
+    fn solve(&self, req: &SolveRequest, _ctx: &BudgetContext) -> SolveReport {
         let Objective::MinMakespan { budget } = req.objective else {
             return unsupported_objective(req, self.name());
         };
@@ -640,5 +705,85 @@ impl Solver for GlobalGreedySolver {
 
     fn solution_form(&self) -> SolutionForm {
         SolutionForm::Schedule
+    }
+}
+
+// ---------------------------------------------------------------------
+// fault-injection fixtures (tests and the CI smoke corpus only)
+// ---------------------------------------------------------------------
+
+/// Fault-injection fixture: panics on every solve. **Not** part of
+/// [`crate::Registry::standard`] — tests and the CI fault-injection
+/// smoke register it explicitly (the CLI gates it behind
+/// `RTT_FAULT_SOLVERS=1`) to exercise the executor's panic isolation:
+/// the batch must report this solver as [`Status::Failed`] and finish
+/// every other request untouched.
+pub struct AlwaysPanicSolver;
+
+impl Solver for AlwaysPanicSolver {
+    fn name(&self) -> &'static str {
+        "fixture-panic"
+    }
+
+    // declines the `all` fan-out so healthy requests never touch it;
+    // named selection bypasses supports(), which is how tests and the
+    // fault corpus invoke it
+    fn supports(&self, _arc: &ArcInstance) -> Capability {
+        Capability::Unsupported("fault-injection fixture: select by name")
+    }
+
+    fn solve(&self, req: &SolveRequest, _ctx: &BudgetContext) -> SolveReport {
+        panic!("fixture solver panicked on request {}", req.id);
+    }
+}
+
+/// Fault-injection fixture: charges `lp_pivots` in deterministic
+/// 1024-unit slabs until the request's pivot budget trips, then reports
+/// the exhaustion. Without an enforced pivot limit it declines instead
+/// of spinning — the fixture exists to exhaust, not to stall. Not part
+/// of [`crate::Registry::standard`]; see [`AlwaysPanicSolver`].
+pub struct AlwaysExhaustSolver;
+
+impl Solver for AlwaysExhaustSolver {
+    fn name(&self) -> &'static str {
+        "fixture-exhaust"
+    }
+
+    // like the panic fixture: reachable by name only
+    fn supports(&self, _arc: &ArcInstance) -> Capability {
+        Capability::Unsupported("fault-injection fixture: select by name")
+    }
+
+    fn solve(&self, req: &SolveRequest, ctx: &BudgetContext) -> SolveReport {
+        let enforced = ctx
+            .spec()
+            .is_some_and(|s| {
+                s.limits.lp_pivots.is_some()
+                    && s.policies.lp_pivots != crate::budget::ExhaustionPolicy::SoftWarn
+            });
+        let meter = match ctx.meter() {
+            Some(m) if enforced => m,
+            _ => {
+                return SolveReport::new(
+                    req.id.clone(),
+                    self.name(),
+                    Status::Unsupported,
+                    "fixture requires an enforced max_pivots budget",
+                )
+            }
+        };
+        // bounded: 2^20 slab charges outlast any limit the meter can
+        // hold below 2^30 pivots, and the fixture never loops past them
+        for _ in 0..(1u64 << 20) {
+            if let Err(e) = meter.charge_lp_pivots(1024) {
+                return report_exhausted(req, self.name(), e);
+            }
+        }
+        SolveReport::new(
+            req.id.clone(),
+            self.name(),
+            Status::Unsupported,
+            "fixture pivot budget too large to exhaust (≥ 2^30)",
+        )
     }
 }

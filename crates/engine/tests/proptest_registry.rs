@@ -10,7 +10,7 @@ use rtt_core::{validate, ArcInstance};
 use rtt_dag::gen;
 use rtt_duration::Duration;
 use rtt_engine::{
-    Capability, PreparedInstance, Registry, SolveRequest, SolverSelection, Status,
+    BudgetContext, Capability, PreparedInstance, Registry, SolveRequest, SolverSelection, Status,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -55,13 +55,13 @@ proptest! {
             exact.supports(prepared.arc()),
             Capability::Supported
         ));
-        let opt = exact.solve(&req).makespan.expect("exact solves");
+        let opt = exact.solve(&req, &BudgetContext::unbudgeted()).makespan.expect("exact solves");
 
         for solver in registry.iter() {
             if !solver.supports(prepared.arc()).is_supported() {
                 continue;
             }
-            let report = solver.solve(&req);
+            let report = solver.solve(&req, &BudgetContext::unbudgeted());
             prop_assert_eq!(
                 report.status.clone(),
                 Status::Solved,
@@ -168,23 +168,24 @@ proptest! {
         let exact = registry.get("exact").unwrap();
 
         let opt = exact
-            .solve(&SolveRequest::min_makespan("p", Arc::clone(&prepared), budget))
+            .solve(
+                &SolveRequest::min_makespan("p", Arc::clone(&prepared), budget),
+                &BudgetContext::unbudgeted(),
+            )
             .makespan
             .expect("solved");
 
-        let at_base = exact.solve(&SolveRequest::min_resource(
-            "p",
-            Arc::clone(&prepared),
-            base,
-        ));
+        let at_base = exact.solve(
+            &SolveRequest::min_resource("p", Arc::clone(&prepared), base),
+            &BudgetContext::unbudgeted(),
+        );
         prop_assert_eq!(at_base.status, Status::Solved);
         prop_assert_eq!(at_base.budget_used.unwrap(), 0, "base makespan is free");
 
-        let at_opt = exact.solve(&SolveRequest::min_resource(
-            "p",
-            Arc::clone(&prepared),
-            opt,
-        ));
+        let at_opt = exact.solve(
+            &SolveRequest::min_resource("p", Arc::clone(&prepared), opt),
+            &BudgetContext::unbudgeted(),
+        );
         prop_assert_eq!(at_opt.status, Status::Solved);
         prop_assert!(
             at_opt.budget_used.unwrap() <= budget,

@@ -46,6 +46,7 @@
 use crate::problem::{Cmp, Problem};
 use crate::simplex::{Outcome, PivotRule, Solution};
 use crate::{LpStats, TOL};
+use rtt_budget::{BudgetMeter, Exhausted};
 
 /// A simplex basis snapshot: which column is basic in each row, and
 /// which nonbasic columns rest at their upper bound. Opaque outside the
@@ -168,6 +169,20 @@ enum LoopEnd {
     Unbounded,
     /// Iteration cap or singular refactorization: restart colder.
     Fail,
+    /// A cooperative budget check tripped. Unlike [`LoopEnd::Fail`],
+    /// this must NOT restart colder — the caller surfaces it as
+    /// [`Outcome::Exhausted`] and stops doing work.
+    Exhausted(Exhausted),
+}
+
+/// Outcome of the bounded dual-simplex repair loop.
+enum DualEnd {
+    /// Primal feasibility restored.
+    Feasible,
+    /// No repair possible / stalled: the caller should go cold.
+    Stuck,
+    /// Budget tripped mid-repair (see [`LoopEnd::Exhausted`]).
+    Exhausted(Exhausted),
 }
 
 struct Rev<'a> {
@@ -198,6 +213,9 @@ struct Rev<'a> {
     eta_base: (usize, usize),
     stats: LpStats,
     phase2: bool,
+    /// Cooperative budget meter; one `lp_pivots` charge per pivot or
+    /// bound flip, checked *before* the step is applied.
+    meter: Option<&'a BudgetMeter>,
 }
 
 impl<'a> Rev<'a> {
@@ -358,6 +376,16 @@ impl<'a> Rev<'a> {
                 ..Default::default()
             },
             phase2: false,
+            meter: None,
+        }
+    }
+
+    /// Charges one pivot to the meter, if any.
+    #[inline]
+    fn charge_pivot(&self) -> Result<(), Exhausted> {
+        match self.meter {
+            Some(m) => m.charge_lp_pivots(1),
+            None => Ok(()),
         }
     }
 
@@ -775,11 +803,17 @@ impl<'a> Rev<'a> {
             }
             let flip_cap = self.upper[q];
             if flip_cap.is_finite() && flip_cap < best_ratio - TOL {
+                if let Err(e) = self.charge_pivot() {
+                    return LoopEnd::Exhausted(e);
+                }
                 self.apply_flip(q, &d);
                 continue;
             }
             let Some((r, leave_upper)) = leave else {
                 if flip_cap.is_finite() {
+                    if let Err(e) = self.charge_pivot() {
+                        return LoopEnd::Exhausted(e);
+                    }
                     self.apply_flip(q, &d);
                     continue;
                 }
@@ -793,6 +827,9 @@ impl<'a> Rev<'a> {
                 }
                 continue;
             }
+            if let Err(e) = self.charge_pivot() {
+                return LoopEnd::Exhausted(e);
+            }
             self.apply_pivot(r, q, best_ratio.max(0.0), &d, leave_upper);
             if self.needs_refactor() && !self.refactorize() {
                 return LoopEnd::Fail;
@@ -802,7 +839,7 @@ impl<'a> Rev<'a> {
 
     /// Bounded dual simplex: restores primal feasibility while keeping
     /// dual feasibility (used by warm starts after an RHS change).
-    fn dual(&mut self) -> bool {
+    fn dual(&mut self) -> DualEnd {
         let cap = 20 * (self.m + self.n_cols) + 1000;
         let mut y = Vec::new();
         let mut rho = Vec::new();
@@ -822,7 +859,7 @@ impl<'a> Rev<'a> {
                 }
             }
             let Some((r, over_upper)) = leave else {
-                return true; // primal feasible
+                return DualEnd::Feasible;
             };
             // --- row r of B⁻¹A and the reduced costs
             rho.clear();
@@ -861,11 +898,11 @@ impl<'a> Rev<'a> {
                 }
             }
             let Some(q) = enter else {
-                return false; // no repair possible: let the caller go cold
+                return DualEnd::Stuck; // no repair possible: go cold
             };
             self.direction(q, &mut d);
             if d[r].abs() <= PIV_TOL {
-                return false;
+                return DualEnd::Stuck;
             }
             let sigma = if matches!(self.status[q], VStat::Upper) {
                 -1.0
@@ -878,6 +915,9 @@ impl<'a> Rev<'a> {
                 0.0
             };
             let t = ((self.x_b[r] - target) / (sigma * d[r])).max(0.0);
+            if let Err(e) = self.charge_pivot() {
+                return DualEnd::Exhausted(e);
+            }
             if self.upper[q].is_finite() && t > self.upper[q] + TOL {
                 // the entering variable hits its own far bound first
                 self.apply_flip(q, &d);
@@ -885,10 +925,10 @@ impl<'a> Rev<'a> {
             }
             self.apply_pivot(r, q, t, &d, over_upper);
             if self.needs_refactor() && !self.refactorize() {
-                return false;
+                return DualEnd::Stuck;
             }
         }
-        false
+        DualEnd::Stuck
     }
 
     /// Sum of the artificial variables (the phase-1 objective).
@@ -1082,24 +1122,45 @@ impl<'a> Rev<'a> {
 
 /// Cold two-phase solve (the [`crate::Engine::Revised`] entry point).
 pub fn solve(p: &Problem, rule: PivotRule) -> Outcome {
-    solve_warm(p, rule, None).0
+    solve_warm(p, rule, None, None).0
+}
+
+/// [`solve`] under a cooperative budget meter: every pivot or bound
+/// flip charges one `lp_pivots` unit, and a tripped budget (or
+/// deadline / cancellation) returns [`Outcome::Exhausted`] instead of
+/// looping on.
+pub fn solve_metered(p: &Problem, rule: PivotRule, meter: Option<&BudgetMeter>) -> Outcome {
+    solve_warm(p, rule, None, meter).0
 }
 
 /// Solves `p`, optionally warm-starting from a [`Basis`] of a
 /// previous solve of an identically-shaped problem (only right-hand
 /// sides may differ). Returns the outcome plus the optimal basis (for
 /// the next warm start); the basis is `None` unless the solve ended
-/// [`Outcome::Optimal`].
-pub fn solve_warm(p: &Problem, rule: PivotRule, warm: Option<&Basis>) -> (Outcome, Option<Basis>) {
+/// [`Outcome::Optimal`]. A `meter`, when given, is charged one
+/// `lp_pivots` unit per pivot or bound flip across every stage (warm
+/// repair, cold restart, flat fallback); exhaustion surfaces as
+/// [`Outcome::Exhausted`] and never falls back to more work.
+pub fn solve_warm(
+    p: &Problem,
+    rule: PivotRule,
+    warm: Option<&Basis>,
+    meter: Option<&BudgetMeter>,
+) -> (Outcome, Option<Basis>) {
     if let Some(warm) = warm {
         let mut rev = Rev::build(p);
+        rev.meter = meter;
         if rev.install(warm) {
             // Two admissible entries: a *dual-feasible* basis (an old
             // optimum after an RHS change) is repaired by the dual
             // simplex; a *primal-feasible* one (a structural crash)
             // goes straight to phase 2. Neither → cold.
             let ready = if rev.is_dual_feasible() {
-                rev.dual()
+                match rev.dual() {
+                    DualEnd::Feasible => true,
+                    DualEnd::Stuck => false,
+                    DualEnd::Exhausted(e) => return (Outcome::Exhausted(e), None),
+                }
             } else {
                 rev.is_primal_feasible()
             };
@@ -1115,22 +1176,25 @@ pub fn solve_warm(p: &Problem, rule: PivotRule, warm: Option<&Basis>) -> (Outcom
                     // optimality: unboundedness could be eta-file
                     // drift, so re-derive it from a cold solve
                     LoopEnd::Unbounded | LoopEnd::Fail => {}
+                    LoopEnd::Exhausted(e) => return (Outcome::Exhausted(e), None),
                 }
             }
         }
         // anything suspicious: fall through to a cold solve
     }
-    cold(p, rule)
+    cold(p, rule, meter)
 }
 
-fn cold(p: &Problem, rule: PivotRule) -> (Outcome, Option<Basis>) {
+fn cold(p: &Problem, rule: PivotRule, meter: Option<&BudgetMeter>) -> (Outcome, Option<Basis>) {
     let mut rev = Rev::build(p);
+    rev.meter = meter;
     let has_art = rev.n_cols > rev.n_real;
     if has_art {
         match rev.primal(rule) {
             LoopEnd::Optimal => {}
             // phase 1 is bounded below by 0; Unbounded means numerics
-            LoopEnd::Unbounded | LoopEnd::Fail => return flat_fallback(p),
+            LoopEnd::Unbounded | LoopEnd::Fail => return flat_fallback(p, meter),
+            LoopEnd::Exhausted(e) => return (Outcome::Exhausted(e), None),
         }
         if rev.artificial_residual() > 1e-6 {
             return (Outcome::Infeasible, None);
@@ -1141,22 +1205,25 @@ fn cold(p: &Problem, rule: PivotRule) -> (Outcome, Option<Basis>) {
     match rev.primal(rule) {
         LoopEnd::Optimal => {}
         LoopEnd::Unbounded => return (Outcome::Unbounded, None),
-        LoopEnd::Fail => return flat_fallback(p),
+        LoopEnd::Fail => return flat_fallback(p, meter),
+        LoopEnd::Exhausted(e) => return (Outcome::Exhausted(e), None),
     }
     match rev.extract() {
         Some(sol) => {
             let basis = rev.snapshot_basis();
             (Outcome::Optimal(sol), Some(basis))
         }
-        None => flat_fallback(p),
+        None => flat_fallback(p, meter),
     }
 }
 
 /// Last-resort fallback: the dense flat engine under Bland's rule, so
 /// the revised engine's worst case matches the flat engine's guarantees.
-fn flat_fallback(p: &Problem) -> (Outcome, Option<Basis>) {
+/// The meter keeps counting across the fallback — the budget bounds the
+/// request's total pivot work, not one engine's.
+fn flat_fallback(p: &Problem, meter: Option<&BudgetMeter>) -> (Outcome, Option<Basis>) {
     (
-        crate::simplex::solve_standard(p, PivotRule::Bland),
+        crate::simplex::solve_standard(p, PivotRule::Bland, meter),
         None,
     )
 }
@@ -1174,12 +1241,18 @@ fn flat_fallback(p: &Problem) -> (Outcome, Option<Basis>) {
 /// sense), a failed install, a stalled loop — degrades the remaining
 /// points to independent [`solve_warm`] calls; the chain is an
 /// optimization, never a correctness dependency.
+///
+/// A `meter` bounds the *whole sweep*: once it trips, the current and
+/// every remaining point come back as [`Outcome::Exhausted`] (the
+/// counters are cumulative, so restarting per point cannot evade the
+/// budget) and no reusable basis is returned.
 pub fn solve_rhs_sweep(
     p: &Problem,
     row: usize,
     rhs_values: &[f64],
     rule: PivotRule,
     start: Option<&Basis>,
+    meter: Option<&BudgetMeter>,
 ) -> (Vec<Outcome>, Option<Basis>) {
     assert!(row < p.rows.len(), "row {row} out of range");
     let mut out: Vec<Outcome> = Vec::with_capacity(rhs_values.len());
@@ -1189,13 +1262,20 @@ pub fn solve_rhs_sweep(
         let mut q = p.clone();
         for &v in &rhs_values[from..] {
             q.set_rhs(row, v);
-            let (o, b) = solve_warm(&q, rule, basis.as_ref());
+            let (o, b) = solve_warm(&q, rule, basis.as_ref(), meter);
             if b.is_some() {
                 basis = b;
             }
             out.push(o);
         }
         basis
+    };
+    // fills the tail once the budget trips: every remaining point owns
+    // the same exhaustion verdict, and the chain's basis is dropped
+    let exhausted_tail = |from: usize, out: &mut Vec<Outcome>, e: Exhausted| {
+        for _ in from..rhs_values.len() {
+            out.push(Outcome::Exhausted(e));
+        }
     };
     if rhs_values.is_empty() {
         return (out, start.cloned());
@@ -1207,6 +1287,7 @@ pub fn solve_rhs_sweep(
     let mut q = p.clone();
     q.set_rhs(row, rhs_values[0]);
     let mut rev = Rev::build(&q);
+    rev.meter = meter;
     // the first point's counter baseline predates seeding, so a cold
     // seed's phase-1 pivots are charged to the point that caused them
     let seed_base = rev.stats;
@@ -1215,7 +1296,14 @@ pub fn solve_rhs_sweep(
         Some(warm) => {
             rev.install(warm)
                 && if rev.is_dual_feasible() {
-                    rev.dual()
+                    match rev.dual() {
+                        DualEnd::Feasible => true,
+                        DualEnd::Stuck => false,
+                        DualEnd::Exhausted(e) => {
+                            exhausted_tail(0, &mut out, e);
+                            return (out, None);
+                        }
+                    }
                 } else {
                     rev.is_primal_feasible()
                 }
@@ -1224,8 +1312,14 @@ pub fn solve_rhs_sweep(
             let has_art = rev.n_cols > rev.n_real;
             let mut ok = true;
             if has_art {
-                ok = matches!(rev.primal(rule), LoopEnd::Optimal)
-                    && rev.artificial_residual() <= 1e-6;
+                ok = match rev.primal(rule) {
+                    LoopEnd::Optimal => rev.artificial_residual() <= 1e-6,
+                    LoopEnd::Exhausted(e) => {
+                        exhausted_tail(0, &mut out, e);
+                        return (out, None);
+                    }
+                    LoopEnd::Unbounded | LoopEnd::Fail => false,
+                };
                 if ok {
                     rev.retire_artificials();
                 }
@@ -1252,9 +1346,16 @@ pub fn solve_rhs_sweep(
             rev.b[row] = v;
             rev.b_eff[row] += v - prev_rhs;
             rev.recompute_x_b();
-            if !rev.dual() {
-                let basis = degraded(k, &mut out, basis);
-                return (out, basis);
+            match rev.dual() {
+                DualEnd::Feasible => {}
+                DualEnd::Stuck => {
+                    let basis = degraded(k, &mut out, basis);
+                    return (out, basis);
+                }
+                DualEnd::Exhausted(e) => {
+                    exhausted_tail(k, &mut out, e);
+                    return (out, None);
+                }
             }
         }
         prev_rhs = v;
@@ -1266,6 +1367,10 @@ pub fn solve_rhs_sweep(
             LoopEnd::Unbounded | LoopEnd::Fail => {
                 let basis = degraded(k, &mut out, basis);
                 return (out, basis);
+            }
+            LoopEnd::Exhausted(e) => {
+                exhausted_tail(k, &mut out, e);
+                return (out, None);
             }
         }
         let Some(mut sol) = rev.extract() else {
@@ -1354,7 +1459,7 @@ mod tests {
         let mut warm: Option<Basis> = None;
         for b in [0.0, 0.25, 0.5, 1.0, 1.5, 2.0, 1.0, 0.5] {
             let p = build(b);
-            let (out, basis) = solve_warm(&p, PivotRule::Dantzig, warm.as_ref());
+            let (out, basis) = solve_warm(&p, PivotRule::Dantzig, warm.as_ref(), None);
             let w = out.expect_optimal("warm");
             let c = solve(&p, PivotRule::Dantzig).expect_optimal("cold");
             assert!(
@@ -1373,16 +1478,84 @@ mod tests {
         let mut p1 = Problem::minimize(2);
         p1.set_objective(0, 1.0);
         p1.add_ge(&[(0, 1.0), (1, 1.0)], 2.0);
-        let (_, basis) = solve_warm(&p1, PivotRule::Dantzig, None);
+        let (_, basis) = solve_warm(&p1, PivotRule::Dantzig, None, None);
         let basis = basis.expect("optimal basis");
         let mut p2 = Problem::minimize(3);
         p2.set_objective(0, 1.0);
         p2.add_ge(&[(0, 1.0), (1, 1.0), (2, 1.0)], 2.0);
         p2.add_le(&[(2, 1.0)], 1.0);
         // shape mismatch must quietly fall back to a cold solve
-        let (out, _) = solve_warm(&p2, PivotRule::Dantzig, Some(&basis));
+        let (out, _) = solve_warm(&p2, PivotRule::Dantzig, Some(&basis), None);
         let s = out.expect_optimal("cold fallback");
         assert!((s.objective - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pivot_budget_trips_mid_solve_and_an_ample_one_does_not() {
+        use rtt_budget::{BudgetMeter, Dimension};
+        // non-trivial enough to need several pivots
+        let mut p = Problem::minimize(4);
+        for j in 0..4 {
+            p.set_objective(j, 1.0 + j as f64);
+        }
+        p.add_ge(&[(0, 1.0), (1, 1.0)], 2.0);
+        p.add_ge(&[(1, 1.0), (2, 1.0)], 3.0);
+        p.add_ge(&[(2, 1.0), (3, 1.0)], 4.0);
+        p.add_eq(&[(0, 1.0), (3, 1.0)], 1.0);
+
+        let tight = BudgetMeter::with_limits(Some(1), None, None, None);
+        match solve_metered(&p, PivotRule::Dantzig, Some(&tight)) {
+            Outcome::Exhausted(e) => {
+                assert_eq!(e.dimension, Dimension::LpPivots);
+                assert_eq!(e.limit, 1);
+                assert!(e.consumed > e.limit);
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        // the meter recorded the work that was attempted
+        assert!(tight.consumed().lp_pivots >= 2);
+
+        let ample = BudgetMeter::with_limits(Some(1_000_000), None, None, None);
+        let s = solve_metered(&p, PivotRule::Dantzig, Some(&ample))
+            .expect_optimal("ample budget");
+        let cold = solve(&p, PivotRule::Dantzig).expect_optimal("unmetered");
+        assert!((s.objective - cold.objective).abs() < 1e-9);
+        assert!(ample.consumed().lp_pivots > 0);
+    }
+
+    #[test]
+    fn sweep_fills_remaining_points_on_exhaustion() {
+        use rtt_budget::BudgetMeter;
+        let mut p = Problem::minimize(3);
+        p.set_objective(2, 1.0);
+        p.add_ge(&[(2, 1.0), (0, 4.0)], 4.0);
+        p.add_ge(&[(2, 1.0), (1, 5.0)], 5.0);
+        p.add_le(&[(0, 1.0), (1, 1.0)], 0.0);
+        p.set_upper_bound(0, 1.0);
+        p.set_upper_bound(1, 1.0);
+        let meter = BudgetMeter::with_limits(Some(1), None, None, None);
+        let (outs, basis) = solve_rhs_sweep(
+            &p,
+            2,
+            &[0.0, 0.5, 1.0, 2.0],
+            PivotRule::Dantzig,
+            None,
+            Some(&meter),
+        );
+        assert_eq!(outs.len(), 4, "one outcome per requested point");
+        assert!(basis.is_none(), "no reusable basis after exhaustion");
+        assert!(
+            outs.iter().any(|o| matches!(o, Outcome::Exhausted(_))),
+            "{outs:?}"
+        );
+        // once tripped, every later point is exhausted too
+        let first = outs
+            .iter()
+            .position(|o| matches!(o, Outcome::Exhausted(_)))
+            .unwrap();
+        assert!(outs[first..]
+            .iter()
+            .all(|o| matches!(o, Outcome::Exhausted(_))));
     }
 
     #[test]

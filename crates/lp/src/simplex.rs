@@ -42,6 +42,7 @@
 
 use crate::problem::{Cmp, Problem};
 use crate::TOL;
+use rtt_budget::{BudgetMeter, Exhausted};
 
 /// Entering-column selection rule for the simplex loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -88,6 +89,11 @@ pub enum Outcome {
     Infeasible,
     /// The objective is unbounded below over the feasible region.
     Unbounded,
+    /// A cooperative budget check tripped mid-solve (pivot cap,
+    /// deadline, or cancellation — see [`rtt_budget::BudgetMeter`]).
+    /// Only the metered entry points can return this; the engine, not
+    /// this crate, decides what to do about it.
+    Exhausted(Exhausted),
 }
 
 impl Outcome {
@@ -253,8 +259,10 @@ impl Tableau {
     }
 
     /// Runs the simplex loop on the current (feasible) tableau.
-    /// Returns `false` on unboundedness.
-    fn optimize(&mut self, rule: PivotRule) -> bool {
+    /// Returns `Ok(false)` on unboundedness; `Err` when the meter's
+    /// pivot budget (or deadline/cancellation) trips — one charge per
+    /// pivot, checked before the pivot is applied.
+    fn optimize(&mut self, rule: PivotRule, meter: Option<&BudgetMeter>) -> Result<bool, Exhausted> {
         let n = self.n_cols;
         let m = self.m;
         // Switch to Bland's rule after a generous number of Dantzig steps.
@@ -291,7 +299,7 @@ impl Tableau {
                 }
             }
             let Some(c) = enter else {
-                return true; // optimal
+                return Ok(true); // optimal
             };
             // --- ratio test (strided column walk)
             let mut leave: Option<usize> = None;
@@ -310,15 +318,23 @@ impl Tableau {
                 }
             }
             let Some(r) = leave else {
-                return false; // unbounded
+                return Ok(false); // unbounded
             };
+            if let Some(m) = meter {
+                m.charge_lp_pivots(1)?;
+            }
             self.pivot(r, c);
         }
     }
 }
 
-/// Builds the standard-form flat tableau and runs both phases.
-pub(crate) fn solve_standard(p: &Problem, rule: PivotRule) -> Outcome {
+/// Builds the standard-form flat tableau and runs both phases. A
+/// meter, when given, is charged one `lp_pivots` unit per pivot.
+pub(crate) fn solve_standard(
+    p: &Problem,
+    rule: PivotRule,
+    meter: Option<&BudgetMeter>,
+) -> Outcome {
     // Collect all rows: user rows + upper-bound rows.
     struct NRow {
         coeffs: Vec<(usize, f64)>,
@@ -430,7 +446,10 @@ pub(crate) fn solve_standard(p: &Problem, rule: PivotRule) -> Outcome {
                 }
             }
         }
-        let bounded = t.optimize(rule);
+        let bounded = match t.optimize(rule, meter) {
+            Ok(b) => b,
+            Err(e) => return Outcome::Exhausted(e),
+        };
         debug_assert!(bounded, "phase 1 objective is bounded below by 0");
         let phase1: f64 = (0..m)
             .filter(|&i| is_art(t.basis[i]))
@@ -490,8 +509,10 @@ pub(crate) fn solve_standard(p: &Problem, rule: PivotRule) -> Outcome {
             t.rc[t.basis[i]] = 0.0;
         }
     }
-    if !t.optimize(rule) {
-        return Outcome::Unbounded;
+    match t.optimize(rule, meter) {
+        Ok(true) => {}
+        Ok(false) => return Outcome::Unbounded,
+        Err(e) => return Outcome::Exhausted(e),
     }
 
     let mut x = vec![0.0; n0];

@@ -83,6 +83,9 @@ proptest! {
                 }
             }
             Outcome::Unbounded => { /* hard to cross-check cheaply */ }
+            Outcome::Exhausted(e) => {
+                prop_assert!(false, "unmetered solve cannot exhaust: {e}");
+            }
         }
     }
 }

@@ -186,7 +186,8 @@ fn chained_sweep_matches_flat_point_for_point() {
         let budget_row = n_jobs;
         // non-monotone grids exercise both dual directions
         let rhs: Vec<f64> = (0..8).map(|_| rng.random_range(0..10i32) as f64).collect();
-        let (outcomes, basis) = solve_rhs_sweep(&p, budget_row, &rhs, PivotRule::Dantzig, None);
+        let (outcomes, basis) =
+            solve_rhs_sweep(&p, budget_row, &rhs, PivotRule::Dantzig, None, None);
         assert_eq!(outcomes.len(), rhs.len());
         assert!(basis.is_some(), "feasible sweeps return a basis");
         for (k, (o, &v)) in outcomes.iter().zip(&rhs).enumerate() {

@@ -39,6 +39,7 @@
 //! whose greedy most-loaded-first policy is decided tick by tick.
 
 use crate::exec::SimResult;
+use rtt_budget::{BudgetMeter, Exhausted};
 use rtt_dag::{Dag, NodeId};
 use rtt_duration::Time;
 use std::cmp::Reverse;
@@ -170,6 +171,23 @@ impl ExecModel {
     /// # Panics
     /// If the model is cyclic ("stalled").
     pub fn run_event(&self) -> SimResult {
+        self.run_event_metered(None)
+            .expect("an unmetered simulation cannot exhaust")
+    }
+
+    /// [`Self::run_event`] under a cooperative budget meter: each popped
+    /// completion charges itself plus the releases it fans out (one
+    /// batched `sim_events` charge per pop — the same quantity
+    /// [`Self::event_count`] bounds a priori), so an over-budget
+    /// simulation stops mid-run with a typed [`Exhausted`] instead of
+    /// processing its remaining heap.
+    ///
+    /// # Panics
+    /// If the model is cyclic ("stalled") and the meter never trips.
+    pub fn run_event_metered(
+        &self,
+        meter: Option<&BudgetMeter>,
+    ) -> Result<SimResult, Exhausted> {
         let n = self.works.len();
         let mut preds_left = self.indeg.clone();
         let mut finish: Vec<Time> = vec![0; n];
@@ -204,6 +222,10 @@ impl ExecModel {
         let mut completed = 0usize;
         while let Some(Reverse((t, v))) = heap.pop() {
             completed += 1;
+            if let Some(m) = meter {
+                // this pop plus every release it fans out, in one charge
+                m.charge_sim_events(1 + self.succs[v as usize].len() as u64)?;
+            }
             for &wi in &self.succs[v as usize] {
                 let w = wi as usize;
                 preds_left[w] -= 1;
@@ -258,12 +280,12 @@ impl ExecModel {
             peak = peak.max(cur);
         }
 
-        SimResult {
+        Ok(SimResult {
             finish: finish.iter().copied().max().unwrap_or(0),
             node_finish: finish,
             updates_applied: self.update_count(),
             peak_parallelism: peak as usize,
-        }
+        })
     }
 
     /// Executes the model tick by tick with `processors` processors

@@ -5,8 +5,10 @@
 //! attribute, [`Strategy`] with `prop_map` / `prop_flat_map`, range and
 //! tuple strategies, [`collection::vec`], [`option::of`], and the
 //! `prop_assert*` macros. Generation is seeded and deterministic; there
-//! is **no shrinking** — a failure reports the case index so it can be
-//! replayed.
+//! is **no shrinking** — a failure reports the case index *and the
+//! case's RNG seed*, and setting `RTT_PROPTEST_SEED=<seed>` replays
+//! exactly that seeded case (combine with the test's name filter, e.g.
+//! `RTT_PROPTEST_SEED=0x… cargo test my_property`).
 
 #![forbid(unsafe_code)]
 
@@ -18,15 +20,27 @@ use std::ops::Range;
 pub struct TestRng(StdRng);
 
 impl TestRng {
-    /// Fixed-seed RNG; `case` perturbs the stream per test case.
-    pub fn for_case(test_name: &str, case: u32) -> Self {
+    /// The seed [`TestRng::for_case`] derives for a (test, case) pair —
+    /// exposed so failure messages can print it and
+    /// [`replay_seed`]-driven reruns can reconstruct the exact stream.
+    pub fn seed_for(test_name: &str, case: u32) -> u64 {
         // FNV-1a over the test name keeps distinct tests on distinct
         // streams while staying fully deterministic run-to-run.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in test_name.bytes() {
             h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
         }
-        TestRng(StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9)))
+        h ^ (case as u64).wrapping_mul(0x9E37_79B9)
+    }
+
+    /// Fixed-seed RNG; `case` perturbs the stream per test case.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        Self::from_seed(Self::seed_for(test_name, case))
+    }
+
+    /// RNG reconstructed from a reported seed (see [`replay_seed`]).
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
     }
 
     fn range<T: SampleUniform>(&mut self, lo: T, hi_incl: T) -> T {
@@ -236,6 +250,27 @@ pub mod test_runner {
     pub use super::{ProptestConfig, TestRng};
 }
 
+/// Parses a reported seed: `0x`-prefixed hex (the format failure
+/// messages print) or plain decimal.
+pub fn parse_seed(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|_| format!("RTT_PROPTEST_SEED: cannot parse {s:?} as a u64 seed"))
+}
+
+/// The seed from `RTT_PROPTEST_SEED`, if set: the [`proptest!`] runner
+/// then replays exactly one case with that seed instead of the full
+/// sweep. A malformed value panics rather than silently running the
+/// normal sweep — a replay that quietly ignores its seed would report
+/// "fixed" for a bug that was never rerun.
+pub fn replay_seed() -> Option<u64> {
+    let raw = std::env::var("RTT_PROPTEST_SEED").ok()?;
+    Some(parse_seed(&raw).unwrap_or_else(|e| panic!("{e}")))
+}
+
 pub mod prelude {
     //! The usual imports.
     pub use crate::{
@@ -290,14 +325,26 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
+                if let Some(seed) = $crate::replay_seed() {
+                    // single-case replay of a reported failure; combine
+                    // with the harness name filter to target one test
+                    eprintln!(
+                        "proptest shim: '{}' replaying one case from RTT_PROPTEST_SEED=0x{seed:016x}",
+                        stringify!($name)
+                    );
+                    let mut __rng = $crate::test_runner::TestRng::from_seed(seed);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    $body
+                    return;
+                }
                 for case in 0..config.cases {
-                    let mut __rng =
-                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    let seed = $crate::test_runner::TestRng::seed_for(stringify!($name), case);
+                    let mut __rng = $crate::test_runner::TestRng::from_seed(seed);
                     $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
                     let run = ::std::panic::AssertUnwindSafe(|| { $body });
                     if let Err(e) = ::std::panic::catch_unwind(run) {
                         eprintln!(
-                            "proptest shim: '{}' failed at case {} of {} (deterministic; rerun reproduces it)",
+                            "proptest shim: '{}' failed at case {} of {}; replay just this case with RTT_PROPTEST_SEED=0x{seed:016x}",
                             stringify!($name), case, config.cases
                         );
                         ::std::panic::resume_unwind(e);
@@ -330,5 +377,31 @@ mod tests {
         fn flat_map_dependent_lengths(v in (1usize..5).prop_flat_map(|n| crate::collection::vec(0i32..10, n..n + 1))) {
             prop_assert!((1..5).contains(&v.len()));
         }
+    }
+
+    #[test]
+    fn reported_seed_reconstructs_the_exact_stream() {
+        let seed = crate::TestRng::seed_for("some_property", 17);
+        let strat = (1u64..1000, crate::collection::vec(0i32..50, 0..8));
+        let mut by_case = crate::TestRng::for_case("some_property", 17);
+        let mut by_seed = crate::TestRng::from_seed(seed);
+        let a = crate::Strategy::generate(&strat, &mut by_case);
+        let b = crate::Strategy::generate(&strat, &mut by_seed);
+        assert_eq!(a, b, "replaying the seed must regenerate the failing inputs");
+        // distinct cases / names stay on distinct streams
+        assert_ne!(seed, crate::TestRng::seed_for("some_property", 18));
+        assert_ne!(seed, crate::TestRng::seed_for("other_property", 17));
+    }
+
+    #[test]
+    fn seed_parsing_accepts_hex_and_decimal() {
+        assert_eq!(crate::parse_seed("0x00000000000000ff"), Ok(255));
+        assert_eq!(crate::parse_seed("0XFF"), Ok(255));
+        assert_eq!(crate::parse_seed(" 255 "), Ok(255));
+        assert!(crate::parse_seed("za").is_err());
+        assert!(crate::parse_seed("").is_err());
+        // round trip through the failure-message format
+        let seed = crate::TestRng::seed_for("p", 3);
+        assert_eq!(crate::parse_seed(&format!("0x{seed:016x}")), Ok(seed));
     }
 }
