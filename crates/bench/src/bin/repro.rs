@@ -11,6 +11,7 @@
 //! repro bench-pr3 [--out PATH] [--smoke]   # revised simplex + warm sweeps → BENCH_pr3.json
 //! repro bench-pr4 [--out PATH] [--smoke]   # race workloads, analytic vs simulated → BENCH_pr4.json
 //! repro bench-pr5 [--out PATH] [--smoke]   # event-heap vs tick-loop sim core + certification coverage → BENCH_pr5.json
+//! repro bench-pr7 [--out PATH] [--smoke]   # cross-request reuse cache + delta solving → BENCH_pr7.json
 //! ```
 
 use rtt_bench::experiments as exp;
@@ -98,6 +99,14 @@ fn run_bench_pr2(args: &[String], trials: usize) {
     write_bench(&out_path, &report.render(), &report.to_json());
 }
 
+/// Runs the PR-7 cross-request reuse baseline and writes the JSON
+/// document.
+fn run_bench_pr7(args: &[String], trials: usize) {
+    let (out_path, smoke) = bench_flags("bench-pr7", "BENCH_pr7.json", args);
+    let report = rtt_bench::reuse_perf::measure(trials, smoke);
+    write_bench(&out_path, &report.render(), &report.to_json());
+}
+
 /// Runs the PR-3 revised-simplex/warm-sweep baseline and writes the
 /// JSON document.
 fn run_bench_pr3(args: &[String], trials: usize) {
@@ -110,7 +119,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro [all|table1|table2|table3|fig1|fig2|fig3|fig45|fig67|fig89|fig1011|fig1214|fig1516|fig1718|spdp|lp|regimes|alpha|bench-pr1|bench-pr2|bench-pr3|bench-pr4|bench-pr5] ..."
+            "usage: repro [all|table1|table2|table3|fig1|fig2|fig3|fig45|fig67|fig89|fig1011|fig1214|fig1516|fig1718|spdp|lp|regimes|alpha|bench-pr1|bench-pr2|bench-pr3|bench-pr4|bench-pr5|bench-pr7] ..."
         );
         std::process::exit(2);
     }
@@ -138,6 +147,10 @@ fn main() {
     }
     if args[0] == "bench-pr5" {
         run_bench_pr5(&args[1..], trials);
+        return;
+    }
+    if args[0] == "bench-pr7" {
+        run_bench_pr7(&args[1..], trials);
         return;
     }
     if args

@@ -13,6 +13,7 @@ pub mod curve_perf;
 pub mod experiments;
 pub mod perf;
 pub mod race_perf;
+pub mod reuse_perf;
 pub mod sim_perf;
 pub mod table;
 

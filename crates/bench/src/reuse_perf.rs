@@ -1,0 +1,457 @@
+//! The PR-7 cross-request reuse baseline: machine-readable evidence
+//! for the fingerprint/solution-cache/delta-solve stack.
+//!
+//! `repro bench-pr7 [--out PATH] [--smoke]` measures, **in the same
+//! binary**:
+//!
+//! * batch wall time over a redundant ≥ 240-request corpus — ~40 base
+//!   instances, each appearing as an exact duplicate, a node/arc
+//!   *relabeling*, a budget perturbation, and a duration perturbation
+//!   — with the reuse cache **off** (the baseline) and **on**, so the
+//!   cache's benefit is measured against the same corpus in the same
+//!   binary, per the ROADMAP perf protocol;
+//! * the byte-purity contract: the rendered NDJSON stream must be
+//!   identical across cache on/off and 1/2/4/8 worker threads
+//!   (`cache may change cost, never bytes`);
+//! * reuse-cache effectiveness: solution hits, warm-basis hits, and
+//!   the simplex pivots the hits avoided re-spending;
+//! * the delta-solve microbench on a pinned instance pair: crash-basis
+//!   (cold) pivots vs delta pivots when reoptimizing a
+//!   duration-perturbed sibling from the donor's parked basis, and the
+//!   same comparison for a pure budget delta.
+
+use crate::perf::race_instance;
+use rtt_core::instance::{Activity, ArcInstance};
+use rtt_dag::Dag;
+use rtt_duration::{Duration, Tuple};
+use rtt_engine::{
+    run_batch_cached, solve_delta_point, CacheStats, PrepCache, PreparedInstance, Registry,
+    ReuseCache, ReuseStats,
+};
+use rtt_cli::spec::{EdgeSpec, InstanceSpec};
+use std::time::Instant;
+
+/// A node/arc relabeling of `spec`: the same instance up to
+/// isomorphism, a different document. Deterministic in `seed`.
+fn relabel(spec: &InstanceSpec, seed: u64) -> InstanceSpec {
+    // SplitMix64-driven Fisher–Yates, self-contained so the corpus is
+    // a pure function of the seed
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let n = spec.nodes.len();
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        perm.swap(i, (next() % (i as u64 + 1)) as usize);
+    }
+    let mut edges: Vec<EdgeSpec> = spec
+        .edges
+        .iter()
+        .map(|e| EdgeSpec {
+            src: perm[e.src],
+            dst: perm[e.dst],
+            duration: e.duration.clone(),
+            label: e.label.clone(),
+        })
+        .collect();
+    for i in (1..edges.len()).rev() {
+        edges.swap(i, (next() % (i as u64 + 1)) as usize);
+    }
+    InstanceSpec {
+        form: spec.form,
+        nodes: spec.nodes.clone(),
+        edges,
+    }
+}
+
+/// A duration-perturbed **shape sibling**: identical topology, every
+/// finite tuple time shifted by one — same tuple counts, so the
+/// instance shares the donor's LP shape but not its fingerprint.
+pub fn perturb_durations(arc: &ArcInstance) -> ArcInstance {
+    let d = arc.dag();
+    let mut g: Dag<(), Activity> = Dag::new();
+    for _ in d.node_ids() {
+        g.add_node(());
+    }
+    for e in d.edge_refs() {
+        let tuples: Vec<Tuple> = e
+            .weight
+            .duration
+            .tuples()
+            .iter()
+            .map(|t| {
+                let time = if rtt_duration::is_infinite(t.time) {
+                    t.time
+                } else {
+                    t.time + 1
+                };
+                Tuple::new(t.resource, time)
+            })
+            .collect();
+        let dur = Duration::step(tuples).expect("uniform shift keeps the step form valid");
+        g.add_edge(e.src, e.dst, Activity::new(dur)).unwrap();
+    }
+    ArcInstance::new(g).unwrap()
+}
+
+/// Base instance `i` of the corpus (deterministic; mixed topologies).
+fn base_instance(i: usize) -> ArcInstance {
+    race_instance(1000 + i as u64, 6 + i % 5)
+}
+
+/// The redundant NDJSON corpus: each base contributes six requests —
+/// the original, an exact duplicate, a relabeling, the relabeling at a
+/// perturbed budget, and a duration-perturbed sibling at two budgets.
+fn build_corpus(n_bases: usize) -> Vec<String> {
+    let mut lines = Vec::with_capacity(6 * n_bases);
+    for i in 0..n_bases {
+        let budget = 4 + (i as u64) % 8;
+        let arc = base_instance(i);
+        let spec = InstanceSpec::from_arc(&arc);
+        let doc = spec.to_json().compact();
+        let rel = relabel(&spec, i as u64).to_json().compact();
+        let per = InstanceSpec::from_arc(&perturb_durations(&arc))
+            .to_json()
+            .compact();
+        lines.push(format!(
+            r#"{{"id":"b{i}-orig","instance":{doc},"budget":{budget}}}"#
+        ));
+        lines.push(format!(
+            r#"{{"id":"b{i}-dup","instance":{doc},"budget":{budget}}}"#
+        ));
+        lines.push(format!(
+            r#"{{"id":"b{i}-rel","instance":{rel},"budget":{budget}}}"#
+        ));
+        lines.push(format!(
+            r#"{{"id":"b{i}-relb","instance":{rel},"budget":{}}}"#,
+            budget + 1
+        ));
+        lines.push(format!(
+            r#"{{"id":"b{i}-per","instance":{per},"budget":{budget}}}"#
+        ));
+        lines.push(format!(
+            r#"{{"id":"b{i}-perb","instance":{per},"budget":{}}}"#,
+            budget + 1
+        ));
+    }
+    lines
+}
+
+/// One batch run through the real CLI pipeline (parse → canonical prep
+/// cache → executor → rendered reports). Returns the NDJSON stream,
+/// the wall time, and the cache statistics.
+fn run_once(
+    corpus: &str,
+    threads: usize,
+    cached: bool,
+) -> (String, f64, CacheStats, Option<ReuseStats>) {
+    let registry = Registry::standard();
+    let cache = PrepCache::with_capacity(1024);
+    let reuse = cached.then(|| ReuseCache::new(1024));
+    let requests = rtt_cli::batch::build_requests(corpus, &cache, Some("bicriteria"), &registry)
+        .expect("corpus parses");
+    let started = Instant::now();
+    let out = run_batch_cached(&registry, requests, threads, reuse.as_ref());
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let mut rendered = String::new();
+    for r in &out.reports {
+        rendered.push_str(&rtt_cli::report_line(r));
+        rendered.push('\n');
+    }
+    (rendered, wall_ms, cache.stats(), reuse.map(|c| c.stats()))
+}
+
+/// The delta-solve microbench on a pinned pair: cold crash-basis
+/// pivots vs warm delta pivots, for a duration-perturbed sibling and
+/// for a budget step.
+#[derive(Debug, Clone)]
+pub struct DeltaPoint {
+    /// Pivots of the cold crash-basis solve of the perturbed sibling.
+    pub cold_pivots: u64,
+    /// Pivots when the sibling reoptimizes from the donor's basis.
+    pub sibling_delta_pivots: u64,
+    /// Pivots when the donor re-solves one budget step away from its
+    /// own parked basis.
+    pub budget_delta_pivots: u64,
+    /// Median cold wall time (ms).
+    pub cold_ms: f64,
+    /// Median sibling-delta wall time (ms).
+    pub delta_ms: f64,
+}
+
+/// Measures the pinned delta microbench (deterministic pivot counts;
+/// wall times are medians over `trials`).
+pub fn measure_delta(trials: usize) -> DeltaPoint {
+    let donor = race_instance(16, 16);
+    let sibling = perturb_durations(&donor);
+    let budget = 16u64;
+
+    // cold: fresh cache, no parked basis anywhere
+    let cold_once = || {
+        let cache = ReuseCache::new(4);
+        let prep = PreparedInstance::new(sibling.clone());
+        let started = Instant::now();
+        let frac = solve_delta_point(&prep, &cache, budget).expect("cold point solves");
+        (frac.pivots as u64, started.elapsed().as_secs_f64() * 1e3)
+    };
+    // sibling delta: the donor parks its basis under the shared shape
+    // key, the sibling reoptimizes from it
+    let delta_once = || {
+        let cache = ReuseCache::new(4);
+        let donor_prep = PreparedInstance::new(donor.clone());
+        solve_delta_point(&donor_prep, &cache, budget).expect("donor point solves");
+        let prep = PreparedInstance::new(sibling.clone());
+        let started = Instant::now();
+        let frac = solve_delta_point(&prep, &cache, budget).expect("delta point solves");
+        (frac.pivots as u64, started.elapsed().as_secs_f64() * 1e3)
+    };
+
+    let mut cold_walls = Vec::new();
+    let mut delta_walls = Vec::new();
+    let mut cold_pivots = 0;
+    let mut sibling_delta_pivots = 0;
+    for _ in 0..trials.max(1) {
+        let (p, w) = cold_once();
+        cold_pivots = p;
+        cold_walls.push(w);
+        let (p, w) = delta_once();
+        sibling_delta_pivots = p;
+        delta_walls.push(w);
+    }
+
+    // budget delta: same instance, one budget step from its own basis
+    let cache = ReuseCache::new(4);
+    let prep = PreparedInstance::new(donor.clone());
+    solve_delta_point(&prep, &cache, budget).expect("seed point solves");
+    let budget_delta_pivots = solve_delta_point(&prep, &cache, budget + 1)
+        .expect("budget delta solves")
+        .pivots as u64;
+
+    cold_walls.sort_by(f64::total_cmp);
+    delta_walls.sort_by(f64::total_cmp);
+    DeltaPoint {
+        cold_pivots,
+        sibling_delta_pivots,
+        budget_delta_pivots,
+        cold_ms: cold_walls[cold_walls.len() / 2],
+        delta_ms: delta_walls[delta_walls.len() / 2],
+    }
+}
+
+/// The full PR-7 measurement set.
+#[derive(Debug, Clone)]
+pub struct ReusePerfReport {
+    /// Host cores (`std::thread::available_parallelism`).
+    pub cores: usize,
+    /// Timed iterations per point (median taken).
+    pub trials: usize,
+    /// Base instances in the corpus.
+    pub bases: usize,
+    /// Requests per batch run.
+    pub requests: usize,
+    /// Reports per batch run.
+    pub reports: usize,
+    /// Median cache-off wall, 1 thread (ms) — the baseline.
+    pub off_wall_ms: f64,
+    /// Median cache-on wall, 1 thread (ms).
+    pub on_wall_ms: f64,
+    /// `off_wall_ms / on_wall_ms`.
+    pub speedup: f64,
+    /// Whether every (cache, threads) combination produced the same
+    /// NDJSON bytes.
+    pub byte_identical: bool,
+    /// Prep-cache statistics of the cache-on run (canonical keying).
+    pub prep: CacheStats,
+    /// Reuse-cache statistics of the cache-on run.
+    pub reuse: ReuseStats,
+    /// The pinned delta microbench.
+    pub delta: DeltaPoint,
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Runs every measurement. Sizes shrink under `smoke` (CI).
+pub fn measure(trials: usize, smoke: bool) -> ReusePerfReport {
+    let n_bases = if smoke { 8 } else { 40 };
+    let corpus = build_corpus(n_bases).join("\n");
+
+    // timed runs, 1 thread: off is the baseline, on is the candidate
+    let mut off_walls = Vec::new();
+    let mut on_walls = Vec::new();
+    let mut requests = 0;
+    let mut reports = 0;
+    let mut baseline = String::new();
+    let mut prep = CacheStats::default();
+    let mut reuse = ReuseStats::default();
+    for trial in 0..trials.max(1) {
+        let (rendered, wall, _, _) = run_once(&corpus, 1, false);
+        off_walls.push(wall);
+        if trial == 0 {
+            requests = corpus.lines().filter(|l| !l.trim().is_empty()).count();
+            reports = rendered.lines().count();
+            baseline = rendered;
+        }
+        let (rendered, wall, p, r) = run_once(&corpus, 1, true);
+        on_walls.push(wall);
+        if trial == 0 {
+            assert_eq!(rendered, baseline, "cache-on must not change bytes");
+            prep = p;
+            reuse = r.expect("cache-on run has reuse stats");
+        }
+    }
+
+    // byte purity across the full (cache × threads) grid
+    let mut byte_identical = true;
+    for threads in [2usize, 4, 8] {
+        for cached in [false, true] {
+            let (rendered, _, _, _) = run_once(&corpus, threads, cached);
+            byte_identical &= rendered == baseline;
+        }
+    }
+
+    let off_wall_ms = median(&mut off_walls);
+    let on_wall_ms = median(&mut on_walls);
+    ReusePerfReport {
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        trials: trials.max(1),
+        bases: n_bases,
+        requests,
+        reports,
+        off_wall_ms,
+        on_wall_ms,
+        speedup: off_wall_ms / on_wall_ms.max(1e-9),
+        byte_identical,
+        prep,
+        reuse,
+        delta: measure_delta(trials),
+    }
+}
+
+impl ReusePerfReport {
+    /// Renders the machine-readable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"rtt-bench/reuse-v1\",\n");
+        out.push_str("  \"pr\": 7,\n");
+        out.push_str(&format!("  \"cores\": {},\n", self.cores));
+        out.push_str(&format!("  \"trials\": {},\n", self.trials));
+        out.push_str(
+            "  \"note\": \"cache-off baseline and cache-on candidate run the same corpus in the same binary; byte_identical covers cache on/off at 1/2/4/8 threads (crates/bench/src/reuse_perf.rs)\",\n",
+        );
+        out.push_str(&format!(
+            "  \"corpus\": {{\"bases\": {}, \"requests\": {}, \"reports\": {}}},\n",
+            self.bases, self.requests, self.reports
+        ));
+        out.push_str(&format!(
+            "  \"batch\": {{\"off_wall_ms\": {:.3}, \"on_wall_ms\": {:.3}, \"speedup\": {:.2}}},\n",
+            self.off_wall_ms, self.on_wall_ms, self.speedup
+        ));
+        out.push_str(&format!(
+            "  \"byte_identical\": {},\n",
+            self.byte_identical
+        ));
+        out.push_str(&format!(
+            "  \"prep_cache\": {{\"instance_hits\": {}, \"instance_misses\": {}, \"instance_hit_rate\": {:.3}, \"evicted\": {}}},\n",
+            self.prep.instance_hits,
+            self.prep.instance_misses,
+            self.prep.instance_hit_rate(),
+            self.prep.evicted,
+        ));
+        out.push_str(&format!(
+            "  \"reuse_cache\": {{\"solution_hits\": {}, \"solution_misses\": {}, \"warm_hits\": {}, \"warm_misses\": {}, \"delta_solves\": {}, \"evictions\": {}, \"pivots_saved\": {}}},\n",
+            self.reuse.solution_hits,
+            self.reuse.solution_misses,
+            self.reuse.warm_hits,
+            self.reuse.warm_misses,
+            self.reuse.delta_solves,
+            self.reuse.evictions,
+            self.reuse.pivots_saved,
+        ));
+        out.push_str(&format!(
+            "  \"delta\": {{\"cold_pivots\": {}, \"sibling_delta_pivots\": {}, \"budget_delta_pivots\": {}, \"cold_ms\": {:.4}, \"delta_ms\": {:.4}}}\n",
+            self.delta.cold_pivots,
+            self.delta.sibling_delta_pivots,
+            self.delta.budget_delta_pivots,
+            self.delta.cold_ms,
+            self.delta.delta_ms,
+        ));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders a human-readable summary.
+    pub fn render(&self) -> String {
+        format!(
+            "==== bench-pr7 (cores = {}, corpus = {} requests -> {} reports over {} bases) ====\n\
+             batch 1t: cache-off {:.1} ms, cache-on {:.1} ms ({:.2}x)\n\
+             byte-identical across cache on/off x 1/2/4/8 threads: {}\n\
+             prep cache: {}/{} instance hits, {} evicted\n\
+             reuse cache: {}/{} solution hits, {} pivots saved; {}/{} warm hits, {} delta solves\n\
+             delta microbench: cold {} pivots vs sibling-delta {} / budget-delta {} ({:.4} ms vs {:.4} ms)\n",
+            self.cores,
+            self.requests,
+            self.reports,
+            self.bases,
+            self.off_wall_ms,
+            self.on_wall_ms,
+            self.speedup,
+            self.byte_identical,
+            self.prep.instance_hits,
+            self.prep.instance_hits + self.prep.instance_misses,
+            self.prep.evicted,
+            self.reuse.solution_hits,
+            self.reuse.solution_hits + self.reuse.solution_misses,
+            self.reuse.pivots_saved,
+            self.reuse.warm_hits,
+            self.reuse.warm_hits + self.reuse.warm_misses,
+            self.reuse.delta_solves,
+            self.delta.cold_pivots,
+            self.delta.sibling_delta_pivots,
+            self.delta.budget_delta_pivots,
+            self.delta.cold_ms,
+            self.delta.delta_ms,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_measurement_is_consistent_and_serializes() {
+        let r = measure(1, true);
+        assert!(r.requests >= 48, "redundant corpus: {} requests", r.requests);
+        assert!(r.byte_identical, "cache must never change bytes");
+        assert!(
+            r.reuse.solution_hits > 0,
+            "duplicates and relabelings must hit the solution cache: {:?}",
+            r.reuse
+        );
+        assert!(r.reuse.pivots_saved > 0);
+        assert!(
+            r.prep.instance_hits > 0,
+            "canonical keying must dedupe relabelings: {:?}",
+            r.prep
+        );
+        assert!(
+            r.delta.sibling_delta_pivots < r.delta.cold_pivots,
+            "delta ({}) must beat cold ({})",
+            r.delta.sibling_delta_pivots,
+            r.delta.cold_pivots
+        );
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": \"rtt-bench/reuse-v1\""));
+        assert!(json.contains("\"byte_identical\": true"));
+        assert!(json.ends_with("}\n"));
+        assert!(r.render().contains("bench-pr7"));
+    }
+}

@@ -28,5 +28,8 @@ fn committed_bench_documents_carry_cores_and_trials() {
             );
         }
     }
-    assert!(found >= 5, "expected the committed BENCH_pr1..pr5 documents, found {found}");
+    assert!(
+        found >= 6,
+        "expected the committed BENCH_pr1..pr5 and BENCH_pr7 documents, found {found}"
+    );
 }

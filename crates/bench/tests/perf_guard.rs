@@ -71,6 +71,53 @@ fn warm_sweep_pivots_stay_in_envelope() {
 }
 
 #[test]
+fn delta_solve_pivots_stay_in_envelope() {
+    // The PR-7 delta path on the pinned bench pair: race_instance(16, 16)
+    // as the donor, its duration-perturbed shape sibling as the target.
+    // Reoptimizing the sibling from the donor's parked basis must cost a
+    // small fraction of the crash-basis solve — and land on the same
+    // objective (the "cost, never correctness" half of the contract).
+    use rtt_bench::reuse_perf::perturb_durations;
+    use rtt_engine::{solve_delta_point, PreparedInstance, ReuseCache};
+
+    let donor = race_instance(16, 16);
+    let sibling = perturb_durations(&donor);
+    let budget = 16u64;
+
+    let cold_cache = ReuseCache::new(4);
+    let cold_prep = PreparedInstance::new(sibling.clone());
+    let cold = solve_delta_point(&cold_prep, &cold_cache, budget).unwrap();
+
+    let cache = ReuseCache::new(4);
+    let donor_prep = PreparedInstance::new(donor);
+    solve_delta_point(&donor_prep, &cache, budget).unwrap();
+    let prep = PreparedInstance::new(sibling);
+    let warm = solve_delta_point(&prep, &cache, budget).unwrap();
+
+    assert!(
+        (warm.makespan - cold.makespan).abs() < 1e-9,
+        "delta objective {} != cold objective {}",
+        warm.makespan,
+        cold.makespan
+    );
+    // measured at commit time: cold 93 crash-basis pivots, sibling
+    // delta 6, budget delta 0 — the delta must stay well under half
+    // the cold cost
+    assert!(
+        (warm.pivots as u64) * 2 < cold.pivots as u64,
+        "sibling delta {} vs cold {} pivots",
+        warm.pivots,
+        cold.pivots
+    );
+    within("cold crash-basis pivots", cold.pivots as u64, 30, 300);
+    within("sibling delta pivots", warm.pivots as u64, 1, 60);
+
+    // a pure budget delta from the instance's own basis is cheaper still
+    let next = solve_delta_point(&prep, &cache, budget + 1).unwrap();
+    within("budget delta pivots", next.pivots as u64, 0, 40);
+}
+
+#[test]
 fn sim_event_counts_stay_in_envelope() {
     // The bench-pr5 shapes' event counts are exact functions of the
     // model — if one moves, the event engine's cost model changed.

@@ -42,10 +42,37 @@
 //! `--on-exhaustion` apply to every line that declares no `max_*`
 //! field of its own (a per-line budget overrides the flags entirely).
 //!
-//! Blank lines are skipped. Identical `instance` documents are
-//! deduplicated through the engine's preprocessing cache: the two-tuple
-//! expansion, SP decomposition, and topological order are computed once
-//! per distinct instance, however many requests and solvers touch it.
+//! Blank lines are skipped. Structurally identical `instance`
+//! documents — including node/arc *relabelings* of one another — are
+//! deduplicated through the engine's preprocessing cache, keyed by the
+//! relabel-invariant canonical form ([`rtt_core::canonical_form`]):
+//! the two-tuple expansion, SP decomposition, and topological order
+//! are computed once per equivalence class, however many requests and
+//! solvers touch it.
+//!
+//! # The cache contract: cost, never bytes
+//!
+//! Every cache in the batch path — the preprocessing cache above and
+//! the opt-in `--reuse-cache` solution cache
+//! ([`rtt_engine::ReuseCache`]) — obeys one invariant: **a cache may
+//! change what a run costs, never what it emits.** The NDJSON stream
+//! is byte-identical with caching on, off, or at any `--threads`
+//! value and any `--cache-capacity`, because the batch path reuses
+//! only *whole deterministic reports*: a cached report is a pure
+//! function of (canonical instance, objective, budget/target, alpha,
+//! seed, solver), every field on the wire included — `work` and the
+//! `budget` block replay exactly because nothing about a hit re-runs
+//! the solver. Before a cached report is emitted its solution is
+//! re-certified from scratch (analytic certificates and the
+//! Observation 1.1 simulation replay), so a reused answer passes the
+//! same gauntlet a fresh one does. Requests that declare `max_*`
+//! budgets or `deadline_ms` bypass the solution cache entirely. The
+//! warm-basis/delta-solving tier of the reuse cache accelerates
+//! *sweeps* (`rtt curve` and the engine's sweep service) where it is
+//! objective-equal but pivot-count-visible; it is structurally
+//! unreachable from this wire format. Cache statistics (instance
+//! hits, solution hits, warm-basis hits, delta solves, evictions) go
+//! to **stderr only**, never into the NDJSON stream.
 //!
 //! A `budget` of **0** is valid and well-defined: it is the
 //! zero-resource point of the tradeoff — LP 6–10 routes no flow, every
@@ -170,19 +197,16 @@ fn parse_request_line(
     };
     let instance = doc.require("instance").map_err(|e| e.to_string())?;
     let spec = InstanceSpec::from_json(instance).map_err(|e| e.to_string())?;
-    // key by the canonical compact serialization (stored in full — no
-    // hash collisions), not the raw line: formatting differences must
-    // not defeat deduplication
-    let key = spec.to_json().compact();
-    let prepared = match cache.get(&key) {
-        Some(hit) => hit,
-        None => {
-            // build only on first sight: an identical key is an
-            // identical spec, so duplicates can't hide build errors
-            let arc = spec.build().map_err(|e| e.to_string())?;
-            cache.get_or_insert(&key, move || arc)
-        }
-    };
+    // key by the relabel-invariant canonical form (PR 7): structurally
+    // identical instances land on one entry even when their documents
+    // permute nodes or arcs. The full key string is stored and compared
+    // (no hash collisions); the build cost on duplicate lines is the
+    // price of recognizing relabelings, and the per-instance
+    // preprocessing (expansion, SP decomposition, LP templates) is
+    // still computed once per equivalence class.
+    let arc = spec.build().map_err(|e| e.to_string())?;
+    let key = rtt_core::canonical_form(&arc).key;
+    let prepared = cache.get_or_insert(&key, move || arc);
     let budget = match doc.get("budget") {
         Some(v) => Some(v.as_u64().map_err(|e| e.to_string())?),
         None => None,

@@ -14,8 +14,8 @@ use rtt_core::{routing_plan, validate, ArcInstance};
 use rtt_dag::gen;
 use rtt_duration::Duration;
 use rtt_engine::{
-    execute_one, run_batch, Objective, PrepCache, PreparedInstance, Registry, SolveReport,
-    SolveRequest, SolverSelection, Status,
+    execute_one, run_batch_cached, Objective, PrepCache, PreparedInstance, Registry,
+    SolveReport, SolveRequest, SolverSelection, Status,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -34,6 +34,7 @@ USAGE:
   rtt curve <instance.json> --budgets a:b:step|a,b,c [--alpha A] [--out PATH]
   rtt batch <corpus.ndjson> [--threads N] [--solver all|<name>] [--out PATH]
             [--max-pivots P] [--max-sim-events E] [--on-exhaustion hard-reject|degrade|soft-warn]
+            [--reuse-cache] [--cache-capacity N]
   rtt solvers
   rtt regimes <instance.json> --budget B
   rtt dot <instance.json>
@@ -45,6 +46,13 @@ solved report ships (`sim_makespan`).
 Instances are JSON (see rtt-cli docs); batch corpora are NDJSON, one
 request per line (see the rtt_cli::batch docs). `gen` writes an
 instance to stdout.
+
+`--reuse-cache` turns on the cross-request solution cache: duplicate
+and relabeled requests replay the first request's certified report
+instead of re-solving. Caches change cost, never bytes — batch stdout
+is byte-identical with the cache on or off, at any thread count and
+any `--cache-capacity` (the LRU bound, default 1024, shared with the
+always-on preprocessing cache). Cache statistics go to stderr.
 
 The batch `--max-*` / `--on-exhaustion` flags apply a resource budget
 to every corpus line that declares no `max_*` field of its own
@@ -358,7 +366,17 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
             Some(name.to_string())
         }
     };
-    let cache = PrepCache::new();
+    let capacity: usize = args.flag("cache-capacity")?.unwrap_or(1024);
+    if capacity == 0 {
+        return Err("--cache-capacity must be at least 1".into());
+    }
+    // the preprocessing cache is always bounded; the cross-request
+    // solution cache is opt-in. Neither can change stdout: caches trade
+    // cost, never bytes (see the rtt_cli::batch docs)
+    let cache = PrepCache::with_capacity(capacity);
+    let reuse = args
+        .switch("reuse-cache")
+        .then(|| rtt_engine::ReuseCache::new(capacity));
     let mut requests =
         rtt_cli::batch::build_requests(&corpus, &cache, default_solver.as_deref(), &registry)?;
     if requests.is_empty() {
@@ -369,7 +387,7 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
             req.budget = req.budget.or(Some(spec));
         }
     }
-    let out = run_batch(&registry, requests, threads);
+    let out = run_batch_cached(&registry, requests, threads, reuse.as_ref());
     let mut rendered = String::new();
     for report in &out.reports {
         rendered.push_str(&rtt_cli::batch::report_line(report));
@@ -386,7 +404,8 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
     eprintln!(
         "batch: {} requests -> {} reports ({} solved, {} expired, {} rejected, {} degraded, \
          {} warned, {} panicked) in {:.1} ms on {} thread(s); \
-         {:.1} req/s; prep cache: {}/{} instance hits ({:.0}%), {}/{} artifact reuses ({:.0}%)",
+         {:.1} req/s; prep cache: {}/{} instance hits ({:.0}%), {}/{} artifact reuses ({:.0}%), \
+         {} evicted",
         out.stats.requests,
         out.stats.reports,
         out.stats.solved,
@@ -404,7 +423,22 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
         stats.artifact_reuses,
         stats.artifact_reuses + stats.artifact_computes,
         stats.artifact_reuse_rate() * 100.0,
+        stats.evicted,
     );
+    if let Some(reuse) = &reuse {
+        let r = reuse.stats();
+        eprintln!(
+            "reuse cache: {}/{} solution hits, {} pivots saved; \
+             {}/{} warm-basis hits, {} delta solves; {} evictions",
+            r.solution_hits,
+            r.solution_hits + r.solution_misses,
+            r.pivots_saved,
+            r.warm_hits,
+            r.warm_hits + r.warm_misses,
+            r.delta_solves,
+            r.evictions,
+        );
+    }
     Ok(())
 }
 

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod exact;
+pub mod fingerprint;
 pub mod from_race;
 pub mod instance;
 pub mod lp_build;
@@ -58,6 +59,7 @@ pub mod transform;
 pub use from_race::{
     instance_from_program, instance_from_race_dag, FromRaceError, ReducerFamily,
 };
+pub use fingerprint::{canonical_form, fingerprint, shape_form, CanonicalForm, Fingerprint};
 pub use instance::{ArcInstance, Activity, Instance, InstanceError, Job};
 pub use regimes::{
     compare_regimes, global_reuse_schedule, solve_noreuse_bicriteria,

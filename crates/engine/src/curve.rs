@@ -66,22 +66,83 @@ pub fn solve_curve_metered(
     alpha: f64,
     meter: Option<&BudgetMeter>,
 ) -> Result<Vec<CurvePoint>, LpError> {
+    solve_curve_cached(prep, budgets, alpha, meter, None)
+}
+
+/// [`solve_curve_metered`] with an optional cross-request
+/// [`crate::reuse::ReuseCache`]: the warm LP state (template + basis)
+/// is taken from and parked back into the cache's **shared warm tier**
+/// — keyed by instance *shape*, so a duration-perturbed sibling's basis
+/// seeds this chain too — instead of the per-instance slot. With
+/// `None` this is exactly the historical per-instance behavior, byte
+/// for byte (`rtt curve` passes `None`, pinning its golden).
+pub fn solve_curve_cached(
+    prep: &PreparedInstance,
+    budgets: &[Resource],
+    alpha: f64,
+    meter: Option<&BudgetMeter>,
+    reuse: Option<&crate::reuse::ReuseCache>,
+) -> Result<Vec<CurvePoint>, LpError> {
     let arc = prep.arc();
     let tt = prep.tt();
-    let mut state = prep.take_lp_warm();
-    let had_basis = state.basis.is_some();
-    let swept = state.lp.solve_sweep_metered(tt, budgets, state.basis.as_ref(), meter);
+    // resolve the warm source: shared tier (shape-keyed) when a cache
+    // is present, the per-instance slot otherwise
+    let (mut state, start, cross) = match reuse {
+        None => {
+            let state = prep.take_lp_warm();
+            let start = state.basis.clone();
+            (state, start, false)
+        }
+        Some(cache) => match cache.take_warm(&prep.shape().key) {
+            Some(entry) if entry.canonical == prep.canonical().key => {
+                let start = entry.state.basis.clone();
+                (entry.state, start, false)
+            }
+            Some(entry) => {
+                // shape sibling: rebuild our template, cross its basis
+                // over (install-verified; see crate::reuse)
+                let state = prep.take_lp_warm();
+                let start = entry
+                    .state
+                    .basis
+                    .filter(|b| state.lp.accepts_basis(b));
+                (state, start, true)
+            }
+            None => {
+                let state = prep.take_lp_warm();
+                let start = state.basis.clone();
+                (state, start, false)
+            }
+        },
+    };
+    let had_basis = start.is_some();
+    if had_basis && (cross || reuse.is_some()) {
+        if let Some(cache) = reuse {
+            cache.note_delta();
+        }
+    }
+    let swept = state.lp.solve_sweep_metered(tt, budgets, start.as_ref(), meter);
+    let park = |state: crate::prep::LpWarmState| match reuse {
+        Some(cache) => cache.put_warm(
+            prep.shape().key.clone(),
+            crate::reuse::WarmEntry {
+                canonical: prep.canonical().key.clone(),
+                state,
+            },
+        ),
+        None => prep.put_lp_warm(state),
+    };
     let (points, basis) = match swept {
         Ok(r) => r,
         Err(e) => {
             // park the template (basis cleared) before reporting
             state.basis = None;
-            prep.put_lp_warm(state);
+            park(state);
             return Err(e);
         }
     };
     state.basis = basis;
-    prep.put_lp_warm(state);
+    park(state);
     let mut out = Vec::with_capacity(budgets.len());
     for (i, (frac, &budget)) in points.into_iter().zip(budgets).enumerate() {
         let pivots = frac.pivots;
@@ -121,8 +182,19 @@ pub fn execute_sweep(
     budgets: &[Resource],
     ctx: &BudgetContext,
 ) -> Vec<SolveReport> {
+    execute_sweep_cached(req, budgets, ctx, None)
+}
+
+/// [`execute_sweep`] routed through an optional shared
+/// [`crate::reuse::ReuseCache`] (see [`solve_curve_cached`]).
+pub fn execute_sweep_cached(
+    req: &SolveRequest,
+    budgets: &[Resource],
+    ctx: &BudgetContext,
+    reuse: Option<&crate::reuse::ReuseCache>,
+) -> Vec<SolveReport> {
     const SOLVER: &str = "bicriteria";
-    match solve_curve_metered(&req.prepared, budgets, req.alpha, ctx.meter()) {
+    match solve_curve_cached(&req.prepared, budgets, req.alpha, ctx.meter(), reuse) {
         Ok(points) => points
             .into_iter()
             .map(|p| {

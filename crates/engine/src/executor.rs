@@ -273,6 +273,41 @@ pub fn execute_one_at(
     queued_at: Instant,
     queue_position: usize,
 ) -> Vec<SolveReport> {
+    execute_one_cached_at(registry, req, queued_at, queue_position, None)
+}
+
+/// Replays a solution-tier hit: overwrites the donor's id with the
+/// requesting id and re-runs the full Observation 1.1 certify replay
+/// against the requesting instance — a reused report is exactly as
+/// certified as a fresh one, and the recomputed `sim_makespan` is
+/// byte-identical because certification is deterministic. Runs under
+/// the same panic isolation as a live solve.
+fn replay_cached(req: &SolveRequest, mut hit: SolveReport) -> SolveReport {
+    hit.id = req.id.clone();
+    let solver = hit.solver;
+    match catch_unwind(AssertUnwindSafe(move || {
+        hit.sim = None;
+        crate::certify::attach(req.prepared.arc(), &mut hit, None)
+            .expect("an unmetered certify replay cannot exhaust");
+        hit
+    })) {
+        Ok(replayed) => replayed,
+        Err(payload) => panic_report(req, solver, payload),
+    }
+}
+
+/// [`execute_one_at`] with an optional cross-request [`ReuseCache`]:
+/// eligible (request, solver) pairs probe the solution tier before
+/// solving and park their report after (see [`crate::reuse`] for the
+/// byte-identity contract), and sweep requests route their warm LP
+/// state through the shared warm tier instead of the per-instance slot.
+pub fn execute_one_cached_at(
+    registry: &Registry,
+    req: &SolveRequest,
+    queued_at: Instant,
+    queue_position: usize,
+    reuse: Option<&crate::reuse::ReuseCache>,
+) -> Vec<SolveReport> {
     let queue_wait = queued_at.elapsed();
     let overflow = queue_overflow(req, queue_position);
     let soft_overflow = overflow
@@ -291,7 +326,7 @@ pub fn execute_one_at(
             vec![crate::solver::report_exhausted(req, "bicriteria", e)]
         } else {
             match catch_unwind(AssertUnwindSafe(|| {
-                crate::curve::execute_sweep(req, budgets, &ctx)
+                crate::curve::execute_sweep_cached(req, budgets, &ctx, reuse)
             })) {
                 Ok(reports) => reports,
                 Err(payload) => vec![panic_report(req, "bicriteria", payload)],
@@ -338,6 +373,22 @@ pub fn execute_one_at(
                 r.queue_wait = queue_wait;
                 return r;
             }
+            // solution-tier probe: an eligible hit replays the cached
+            // report (re-certified) instead of solving — byte-identical
+            // by solver determinism, see crate::reuse
+            let cache_key = reuse.and_then(|c| {
+                let key = crate::reuse::ReuseCache::solution_key(req, s.name())?;
+                if let Some(hit) = c.lookup_solution(&key, req) {
+                    return Some(Err(hit));
+                }
+                Some(Ok(key))
+            });
+            if let Some(Err(hit)) = cache_key {
+                let mut report = replay_cached(req, hit);
+                report.wall = started.elapsed();
+                report.queue_wait = queue_wait;
+                return report;
+            }
             let (mut report, mut notes, mut ctx) = run_solver_isolated(*s, req, queued_at);
             // degrade dispatch: one level along the declared chain,
             // with a fresh meter (the exhausted one is saturated)
@@ -362,6 +413,9 @@ pub fn execute_one_at(
             finalize_budget(&mut report, &ctx, notes, soft_overflow);
             report.wall = started.elapsed();
             report.queue_wait = queue_wait;
+            if let (Some(cache), Some(Ok(key))) = (reuse, cache_key) {
+                cache.store_solution(key, req, &report);
+            }
             report
         })
         .collect()
@@ -374,6 +428,21 @@ pub fn run_batch(
     registry: &Registry,
     requests: Vec<SolveRequest>,
     threads: usize,
+) -> BatchOutcome {
+    run_batch_cached(registry, requests, threads, None)
+}
+
+/// [`run_batch`] with an optional [`crate::reuse::ReuseCache`] shared
+/// by every worker. The cache changes which reports are *computed*
+/// versus *replayed* — never their bytes: for any fixed request
+/// sequence, `run_batch_cached(.., Some(cache))` produces the same
+/// report sequence as `run_batch(..)` at any thread count (the
+/// differential proptests pin this).
+pub fn run_batch_cached(
+    registry: &Registry,
+    requests: Vec<SolveRequest>,
+    threads: usize,
+    reuse: Option<&crate::reuse::ReuseCache>,
 ) -> BatchOutcome {
     let started = Instant::now();
     let threads = threads.max(1);
@@ -397,7 +466,7 @@ pub fn run_batch(
                     // the batch index doubles as the queue position: it
                     // is assigned at enqueue, so queue-depth admission
                     // stays deterministic across thread counts
-                    let reports = execute_one_at(registry, &req, queued_at, i);
+                    let reports = execute_one_cached_at(registry, &req, queued_at, i, reuse);
                     if res_tx.send((i, reports)).is_err() {
                         break; // collector gone: nothing left to do
                     }

@@ -17,7 +17,13 @@
 //! * [`run_batch`] — a fixed thread pool over the `crossbeam` channel
 //!   shim that drains a request queue, enforces per-request deadlines,
 //!   and returns reports in request order, so batch output is
-//!   independent of the thread count.
+//!   independent of the thread count;
+//! * [`ReuseCache`] — opt-in cross-request reuse under the "cost,
+//!   never bytes" contract: a solution tier of whole re-certified
+//!   reports keyed by canonical fingerprint (serves the batch wire),
+//!   and a warm-basis/delta tier keyed by instance *shape* (serves
+//!   sweeps and [`solve_delta_point`]; objective-equal, never on the
+//!   batch wire — see [`reuse`]).
 //!
 //! The free functions in `rtt_core` remain the algorithmic ground
 //! truth; the trait impls here are thin adapters that certify every
@@ -58,6 +64,7 @@ pub mod executor;
 pub mod prep;
 pub mod registry;
 pub mod request;
+pub mod reuse;
 pub mod solver;
 
 pub use budget::{
@@ -68,9 +75,13 @@ pub use certify::{
     certify_solution, certify_solution_metered, expand_levels, expand_solution, SimCertificate,
     SIM_EVENT_GUARD,
 };
-pub use curve::{solve_curve, solve_curve_metered, CurvePoint};
-pub use executor::{execute_one, execute_one_at, run_batch, BatchOutcome, BatchStats};
+pub use curve::{solve_curve, solve_curve_cached, solve_curve_metered, CurvePoint};
+pub use executor::{
+    execute_one, execute_one_at, execute_one_cached_at, run_batch, run_batch_cached,
+    BatchOutcome, BatchStats,
+};
 pub use prep::{CacheStats, LpWarmState, PrepCache, PreparedInstance};
 pub use registry::{canonical_name, Registry};
 pub use request::{Objective, SolveReport, SolveRequest, SolverSelection, Status};
+pub use reuse::{solve_delta_point, ReuseCache, ReuseStats};
 pub use solver::{AlwaysExhaustSolver, AlwaysPanicSolver, Capability, SolutionForm, Solver};

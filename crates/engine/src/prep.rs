@@ -12,7 +12,7 @@
 //! performs one expansion and one decomposition, not fifteen.
 
 use rtt_core::transform::expand_two_tuples;
-use rtt_core::{ArcInstance, TwoTupleInstance};
+use rtt_core::{ArcInstance, CanonicalForm, TwoTupleInstance};
 use rtt_dag::sp::{decompose, SpTree};
 use rtt_dag::NodeId;
 use std::collections::HashMap;
@@ -53,6 +53,8 @@ pub struct PreparedInstance {
     tt: OnceLock<TwoTupleInstance>,
     sp: OnceLock<Option<SpTree>>,
     topo: OnceLock<Vec<NodeId>>,
+    canonical: OnceLock<CanonicalForm>,
+    shape: OnceLock<CanonicalForm>,
     lp_warm: Mutex<Option<LpWarmState>>,
     /// Times a component accessor found its artifact already computed.
     reuses: AtomicU64,
@@ -68,6 +70,8 @@ impl PreparedInstance {
             tt: OnceLock::new(),
             sp: OnceLock::new(),
             topo: OnceLock::new(),
+            canonical: OnceLock::new(),
+            shape: OnceLock::new(),
             lp_warm: Mutex::new(None),
             reuses: AtomicU64::new(0),
             computes: AtomicU64::new(0),
@@ -111,6 +115,26 @@ impl PreparedInstance {
             rtt_dag::topo_order(self.arc.dag()).expect("instances are acyclic")
         })
         .as_slice()
+    }
+
+    /// The instance's canonical form ([`rtt_core::canonical_form`]):
+    /// the relabeling-invariant key string plus its fingerprint digest,
+    /// computed on first use. This is what the cross-request
+    /// [`crate::reuse::ReuseCache`] keys on, so two requests carrying
+    /// byte-different but structurally identical instances land on the
+    /// same cache line.
+    pub fn canonical(&self) -> &CanonicalForm {
+        self.track(&self.canonical, || rtt_core::canonical_form(&self.arc))
+    }
+
+    /// The instance's shape form ([`rtt_core::shape_form`]): durations
+    /// reduced to tuple counts, so duration-perturbed siblings share a
+    /// key. This is the warm-basis tier's compatibility class — equal
+    /// shape keys mean LP 6–10 problems of identical layout, whose
+    /// bases are mutually offerable (and install-verified). Computed on
+    /// first use.
+    pub fn shape(&self) -> &CanonicalForm {
+        self.track(&self.shape, || rtt_core::shape_form(&self.arc))
     }
 
     /// Takes the cached LP warm-start state (template + last basis),
@@ -165,6 +189,8 @@ pub struct CacheStats {
     pub artifact_reuses: u64,
     /// Artifact accesses that computed the artifact.
     pub artifact_computes: u64,
+    /// Entries evicted to stay within the cache's capacity bound.
+    pub evicted: u64,
 }
 
 impl CacheStats {
@@ -189,31 +215,91 @@ impl CacheStats {
     }
 }
 
+/// The map behind [`PrepCache`]: entries stamped with a logical access
+/// tick, so eviction can pick the least-recently-used entry without any
+/// wall-clock dependence.
+#[derive(Debug, Default)]
+struct LruEntries {
+    map: HashMap<String, (Arc<PreparedInstance>, u64)>,
+    tick: u64,
+}
+
+impl LruEntries {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Key of the eviction victim: smallest `(last_access, key)`. The
+    /// key tiebreak makes eviction **deterministic** even if two
+    /// entries ever carry the same stamp.
+    fn victim(&self) -> Option<String> {
+        self.map
+            .iter()
+            .map(|(k, (_, last))| (*last, k))
+            .min()
+            .map(|(_, k)| k.clone())
+    }
+}
+
 /// Deduplicates [`PreparedInstance`]s by a caller-chosen key —
 /// typically the canonical serialization of the instance itself. The
 /// full key is stored and compared (not a hash of it), so distinct
 /// instances can never silently share an entry. Thread-safe;
 /// handed-out entries are `Arc`s, so they stay valid however long
-/// requests keep them.
+/// requests keep them — eviction drops the cache's reference, never
+/// the instance under a live request.
+///
+/// # Capacity and eviction
+///
+/// [`PrepCache::with_capacity`] bounds the number of resident entries;
+/// inserting past the bound evicts the least-recently-used entry
+/// (ties broken by key, so eviction order is deterministic for a
+/// deterministic access sequence). Eviction snapshots the victim's
+/// artifact counters into the cache-wide totals first, so
+/// [`PrepCache::stats`] never goes backwards. Like every cache in this
+/// workspace, eviction changes **cost, never bytes**: a re-requested
+/// evicted instance is simply prepared again.
 #[derive(Debug, Default)]
 pub struct PrepCache {
-    entries: Mutex<HashMap<String, Arc<PreparedInstance>>>,
+    entries: Mutex<LruEntries>,
+    /// Max resident entries; `None` is unbounded.
+    capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evicted: AtomicU64,
+    /// Artifact counters inherited from evicted entries.
+    dead_reuses: AtomicU64,
+    dead_computes: AtomicU64,
 }
 
 impl PrepCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty cache holding at most `capacity` prepared instances
+    /// (`0` is treated as 1 — a cache that can hold nothing would turn
+    /// every request into a miss while still paying the lock).
+    pub fn with_capacity(capacity: usize) -> Self {
+        PrepCache {
+            capacity: Some(capacity.max(1)),
+            ..Self::default()
+        }
+    }
+
     /// Returns the cached instance for `key`, if present (counts a
-    /// hit; a `None` is not counted — pair with [`PrepCache::get_or_insert`],
-    /// which records the miss).
+    /// hit and refreshes the entry's LRU stamp; a `None` is not
+    /// counted — pair with [`PrepCache::get_or_insert`], which records
+    /// the miss).
     pub fn get(&self, key: &str) -> Option<Arc<PreparedInstance>> {
-        let entries = self.entries.lock().expect("prep cache poisoned");
-        let hit = entries.get(key).map(Arc::clone);
+        let mut entries = self.entries.lock().expect("prep cache poisoned");
+        let tick = entries.touch();
+        let hit = entries.map.get_mut(key).map(|(prep, last)| {
+            *last = tick;
+            Arc::clone(prep)
+        });
         if hit.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -221,26 +307,40 @@ impl PrepCache {
     }
 
     /// Returns the prepared instance for `key`, building it with
-    /// `build` on first sight of the key.
+    /// `build` on first sight of the key. May evict the
+    /// least-recently-used entry on insert if the cache is at capacity.
     pub fn get_or_insert(
         &self,
         key: &str,
         build: impl FnOnce() -> ArcInstance,
     ) -> Arc<PreparedInstance> {
         let mut entries = self.entries.lock().expect("prep cache poisoned");
-        if let Some(hit) = entries.get(key) {
+        let tick = entries.touch();
+        if let Some((hit, last)) = entries.map.get_mut(key) {
+            *last = tick;
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(cap) = self.capacity {
+            while entries.map.len() >= cap {
+                let victim = entries.victim().expect("cap >= 1, map non-empty");
+                if let Some((dead, _)) = entries.map.remove(&victim) {
+                    let (r, c) = dead.prep_counters();
+                    self.dead_reuses.fetch_add(r, Ordering::Relaxed);
+                    self.dead_computes.fetch_add(c, Ordering::Relaxed);
+                    self.evicted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         let prep = Arc::new(PreparedInstance::new(build()));
-        entries.insert(key.to_string(), Arc::clone(&prep));
+        entries.map.insert(key.to_string(), (Arc::clone(&prep), tick));
         prep
     }
 
     /// Number of distinct instances currently cached.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("prep cache poisoned").len()
+        self.entries.lock().expect("prep cache poisoned").map.len()
     }
 
     /// Whether the cache is empty.
@@ -249,10 +349,12 @@ impl PrepCache {
     }
 
     /// Snapshot of the cache statistics, including the artifact
-    /// counters aggregated over all cached entries.
+    /// counters aggregated over all cached entries (plus those
+    /// snapshotted from evicted ones).
     pub fn stats(&self) -> CacheStats {
-        let (mut reuses, mut computes) = (0, 0);
-        for prep in self.entries.lock().expect("prep cache poisoned").values() {
+        let mut reuses = self.dead_reuses.load(Ordering::Relaxed);
+        let mut computes = self.dead_computes.load(Ordering::Relaxed);
+        for (prep, _) in self.entries.lock().expect("prep cache poisoned").map.values() {
             let (r, c) = prep.prep_counters();
             reuses += r;
             computes += c;
@@ -262,6 +364,7 @@ impl PrepCache {
             instance_misses: self.misses.load(Ordering::Relaxed),
             artifact_reuses: reuses,
             artifact_computes: computes,
+            evicted: self.evicted.load(Ordering::Relaxed),
         }
     }
 }
@@ -307,7 +410,70 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.instance_hits, 1);
         assert_eq!(stats.instance_misses, 2);
+        assert_eq!(stats.evicted, 0);
         assert_eq!(cache.len(), 2);
     }
 
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = PrepCache::with_capacity(2);
+        cache.get_or_insert("a", tiny);
+        cache.get_or_insert("b", tiny);
+        // touch "a" so "b" becomes the LRU victim
+        assert!(cache.get("a").is_some());
+        cache.get_or_insert("c", tiny);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("b").is_none(), "b was least recently used");
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.stats().evicted, 1);
+    }
+
+    #[test]
+    fn eviction_keeps_artifact_counters() {
+        let cache = PrepCache::with_capacity(1);
+        let a = cache.get_or_insert("a", tiny);
+        a.tt();
+        a.tt(); // one compute, one reuse on the soon-victim
+        cache.get_or_insert("b", tiny); // evicts "a"
+        let stats = cache.stats();
+        assert_eq!(stats.evicted, 1);
+        assert_eq!(stats.artifact_computes, 1, "snapshotted from evicted entry");
+        assert_eq!(stats.artifact_reuses, 1);
+        // the evicted Arc stays valid for its holder
+        assert_eq!(a.topo().len(), 2);
+    }
+
+    #[test]
+    fn eviction_order_is_deterministic() {
+        let keys = ["k0", "k1", "k2", "k3"];
+        let survivors = |order: &[usize]| -> Vec<String> {
+            let cache = PrepCache::with_capacity(2);
+            for &i in order {
+                cache.get_or_insert(keys[i], tiny);
+            }
+            let mut left: Vec<String> = keys
+                .iter()
+                .filter(|k| cache.get(k).is_some())
+                .map(|k| k.to_string())
+                .collect();
+            left.sort();
+            left
+        };
+        assert_eq!(
+            survivors(&[0, 1, 2, 3]),
+            survivors(&[0, 1, 2, 3]),
+            "same access sequence, same residents"
+        );
+        assert_eq!(survivors(&[0, 1, 2, 3]), vec!["k2", "k3"]);
+    }
+
+    #[test]
+    fn canonical_is_memoized_and_relabeling_invariant() {
+        let prep = PreparedInstance::new(tiny());
+        let c1 = prep.canonical().digest;
+        let c2 = prep.canonical().digest;
+        assert_eq!(c1, c2);
+        assert_eq!(c1, rtt_core::fingerprint(prep.arc()));
+    }
 }

@@ -1,0 +1,125 @@
+//! Warm-vs-cold property tests for the PR 7 delta-solve path: a warm
+//! or crossed-over basis may change *pivot counts*, never the LP
+//! optimum or the certified rounded curve.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtt_core::ArcInstance;
+use rtt_dag::gen;
+use rtt_duration::Duration;
+use rtt_engine::{solve_curve, solve_curve_cached, solve_delta_point, PreparedInstance, ReuseCache};
+
+fn generate(kind: usize, family: usize, seed: u64) -> ArcInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tt = match kind % 3 {
+        0 => gen::random_sp(&mut rng, 3).tt,
+        1 => gen::layered(&mut rng, 3, 2, 0.4),
+        _ => gen::chain(2 + (seed as usize % 3)),
+    };
+    let fam: fn(u64) -> Duration = match family % 2 {
+        0 => Duration::recursive_binary,
+        _ => Duration::kway,
+    };
+    let inst = rtt_core::Instance::race_dag(&tt.dag, fam).expect("generated DAG is valid");
+    rtt_core::to_arc_form(&inst).0
+}
+
+/// Same topology, every duration's times scaled up: a shape sibling
+/// whose basis the cache may cross over to the original.
+fn perturbed_sibling(kind: usize, family: usize, seed: u64) -> ArcInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tt = match kind % 3 {
+        0 => gen::random_sp(&mut rng, 3).tt,
+        1 => gen::layered(&mut rng, 3, 2, 0.4),
+        _ => gen::chain(2 + (seed as usize % 3)),
+    };
+    // the *other* reducer family over the same DAG perturbs every
+    // duration while keeping the topology
+    let fam: fn(u64) -> Duration = match family % 2 {
+        0 => Duration::kway,
+        _ => Duration::recursive_binary,
+    };
+    let inst = rtt_core::Instance::race_dag(&tt.dag, fam).expect("generated DAG is valid");
+    rtt_core::to_arc_form(&inst).0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The whole curve solved through the shared warm tier — after a
+    /// sibling has already parked a basis under the same shape key —
+    /// matches the cold per-instance curve point for point: LP
+    /// envelope, rounded makespan, rounded budget.
+    #[test]
+    fn warm_curve_equals_cold_curve(
+        kind in 0usize..3,
+        family in 0usize..2,
+        seed in 0u64..2_000,
+        hi in 2u64..10,
+    ) {
+        let budgets: Vec<u64> = (0..=hi).collect();
+        let alpha = 0.5;
+
+        let cold_prep = PreparedInstance::new(generate(kind, family, seed));
+        let cold = solve_curve(&cold_prep, &budgets, alpha).expect("cold curve solves");
+
+        // warm the shared tier with a duration-perturbed sibling, then
+        // solve the original through the cache
+        let cache = ReuseCache::new(16);
+        let sibling = PreparedInstance::new(perturbed_sibling(kind, family, seed));
+        solve_curve_cached(&sibling, &budgets, alpha, None, Some(&cache))
+            .expect("sibling curve solves");
+        let warm_prep = PreparedInstance::new(generate(kind, family, seed));
+        let warm = solve_curve_cached(&warm_prep, &budgets, alpha, None, Some(&cache))
+            .expect("warm curve solves");
+
+        prop_assert_eq!(cold.len(), warm.len());
+        for (c, w) in cold.iter().zip(&warm) {
+            prop_assert_eq!(c.budget, w.budget);
+            prop_assert!(
+                (c.lp_makespan - w.lp_makespan).abs() < 1e-9,
+                "budget {}: cold LP {} != warm LP {}",
+                c.budget, c.lp_makespan, w.lp_makespan
+            );
+            prop_assert_eq!(
+                c.makespan, w.makespan,
+                "budget {}: rounded makespan diverged", c.budget
+            );
+            prop_assert_eq!(
+                c.budget_used, w.budget_used,
+                "budget {}: rounded budget diverged", c.budget
+            );
+        }
+    }
+
+    /// `solve_delta_point` — reoptimizing from whatever basis the cache
+    /// holds, across shuffled budget jumps and a sibling's parked basis
+    /// — always lands on the cold LP optimum.
+    #[test]
+    fn delta_point_objective_equals_cold(
+        kind in 0usize..3,
+        family in 0usize..2,
+        seed in 0u64..2_000,
+        b1 in 0u64..10,
+        b2 in 0u64..10,
+        b3 in 0u64..10,
+    ) {
+        let cache = ReuseCache::new(16);
+        let prep = PreparedInstance::new(generate(kind, family, seed));
+        let sibling = PreparedInstance::new(perturbed_sibling(kind, family, seed));
+        // park a sibling basis so the first delta solve crosses over
+        solve_delta_point(&sibling, &cache, b1).expect("sibling point solves");
+
+        for b in [b1, b2, b3] {
+            let warm = solve_delta_point(&prep, &cache, b).expect("delta point solves");
+            let cold_prep = PreparedInstance::new(generate(kind, family, seed));
+            let cold = solve_curve(&cold_prep, &[b], 0.5).expect("cold point solves");
+            prop_assert!(
+                (warm.makespan - cold[0].lp_makespan).abs() < 1e-9,
+                "budget {}: delta objective {} != cold {}",
+                b, warm.makespan, cold[0].lp_makespan
+            );
+        }
+    }
+}

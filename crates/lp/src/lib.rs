@@ -61,7 +61,7 @@ mod stats;
 pub use problem::{Cmp, Problem, Row};
 pub use revised::Basis;
 pub use simplex::{Engine, Outcome, PivotRule, Solution};
-pub use stats::LpStats;
+pub use stats::{LpStats, WarmStart};
 
 /// Default feasibility/optimality tolerance.
 pub const TOL: f64 = 1e-8;

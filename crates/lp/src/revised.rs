@@ -45,7 +45,7 @@
 
 use crate::problem::{Cmp, Problem};
 use crate::simplex::{Outcome, PivotRule, Solution};
-use crate::{LpStats, TOL};
+use crate::{LpStats, WarmStart, TOL};
 use rtt_budget::{BudgetMeter, Exhausted};
 
 /// A simplex basis snapshot: which column is basic in each row, and
@@ -1120,6 +1120,34 @@ impl<'a> Rev<'a> {
     }
 }
 
+/// Whether `b`'s shape matches what [`solve_warm`] would build for `p`
+/// — the cheap pre-check for **cross-problem (delta) warm starts**,
+/// where the offered basis came from a different `Problem` of
+/// identical shape (e.g. the same instance at another budget, or a
+/// duration-perturbed sibling whose LP kept its sparsity pattern). A
+/// non-fitting basis would be rejected at install time anyway; callers
+/// holding a better fallback (such as a crash basis) should check
+/// first instead of burning the offer on a cold fallback.
+pub fn basis_fits(p: &Problem, b: &Basis) -> bool {
+    let m = p.rows.len();
+    // replicate the internal column layout count: structurals +
+    // one logical per row + one artificial per normalized Ge/Eq row
+    let n_art = p
+        .rows
+        .iter()
+        .filter(|row| {
+            let cmp = match (row.cmp, row.rhs < 0.0) {
+                (c, false) => c,
+                (Cmp::Le, true) => Cmp::Ge,
+                (Cmp::Ge, true) => Cmp::Le,
+                (Cmp::Eq, true) => Cmp::Eq,
+            };
+            !matches!(cmp, Cmp::Le)
+        })
+        .count();
+    b.n_rows() == m && b.n_cols() == p.n_vars + m + n_art
+}
+
 /// Cold two-phase solve (the [`crate::Engine::Revised`] entry point).
 pub fn solve(p: &Problem, rule: PivotRule) -> Outcome {
     solve_warm(p, rule, None, None).0
@@ -1154,16 +1182,18 @@ pub fn solve_warm(
             // Two admissible entries: a *dual-feasible* basis (an old
             // optimum after an RHS change) is repaired by the dual
             // simplex; a *primal-feasible* one (a structural crash)
-            // goes straight to phase 2. Neither → cold.
-            let ready = if rev.is_dual_feasible() {
+            // goes straight to phase 2. Neither → cold. The entry used
+            // is recorded as the solution's warm-start provenance.
+            let (ready, via) = if rev.is_dual_feasible() {
                 match rev.dual() {
-                    DualEnd::Feasible => true,
-                    DualEnd::Stuck => false,
+                    DualEnd::Feasible => (true, WarmStart::Dual),
+                    DualEnd::Stuck => (false, WarmStart::Rejected),
                     DualEnd::Exhausted(e) => return (Outcome::Exhausted(e), None),
                 }
             } else {
-                rev.is_primal_feasible()
+                (rev.is_primal_feasible(), WarmStart::Primal)
             };
+            rev.stats.warm = via;
             if ready {
                 match rev.primal(rule) {
                     LoopEnd::Optimal => {
@@ -1180,7 +1210,13 @@ pub fn solve_warm(
                 }
             }
         }
-        // anything suspicious: fall through to a cold solve
+        // anything suspicious: fall through to a cold solve — but
+        // record on the result that a basis was offered and rejected
+        let (mut out, basis) = cold(p, rule, meter);
+        if let Outcome::Optimal(ref mut sol) = out {
+            sol.stats.warm = WarmStart::Rejected;
+        }
+        return (out, basis);
     }
     cold(p, rule, meter)
 }
@@ -1297,7 +1333,10 @@ pub fn solve_rhs_sweep(
             rev.install(warm)
                 && if rev.is_dual_feasible() {
                     match rev.dual() {
-                        DualEnd::Feasible => true,
+                        DualEnd::Feasible => {
+                            rev.stats.warm = WarmStart::Dual;
+                            true
+                        }
                         DualEnd::Stuck => false,
                         DualEnd::Exhausted(e) => {
                             exhausted_tail(0, &mut out, e);
@@ -1305,7 +1344,11 @@ pub fn solve_rhs_sweep(
                         }
                     }
                 } else {
-                    rev.is_primal_feasible()
+                    let ok = rev.is_primal_feasible();
+                    if ok {
+                        rev.stats.warm = WarmStart::Primal;
+                    }
+                    ok
                 }
         }
         None => {
@@ -1382,6 +1425,10 @@ pub fn solve_rhs_sweep(
         sol.stats.phase2_pivots -= base.phase2_pivots;
         sol.stats.bound_flips -= base.bound_flips;
         sol.stats.refactorizations -= base.refactorizations;
+        if k > 0 {
+            // chained points reoptimize from the previous point's basis
+            sol.stats.warm = WarmStart::Dual;
+        }
         sol.pivots =
             sol.stats.phase1_pivots + sol.stats.phase2_pivots + sol.stats.bound_flips;
         basis = Some(rev.snapshot_basis());

@@ -6,6 +6,43 @@
 //! row per bounded variable: for the same [`crate::Problem`],
 //! `flat.stats.rows == revised.stats.rows + revised.stats.bound_cols`.
 
+/// How a revised-engine solve entered its simplex loop — the
+/// warm-start **provenance** of the solution. Diagnostics only (like
+/// every other [`LpStats`] field it stays off the batch wire format),
+/// but it is what lets callers — and the PR-7 delta-solve tests —
+/// assert that a cached basis was actually *used* rather than silently
+/// rejected into a cold solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum WarmStart {
+    /// No basis was offered (or the engine has no warm path): the
+    /// ordinary two-phase cold solve.
+    #[default]
+    Cold,
+    /// An offered basis installed **dual-feasible** (the signature of
+    /// an old optimum after an RHS change) and was repaired by the dual
+    /// simplex — the delta-solve path.
+    Dual,
+    /// An offered basis installed **primal-feasible** (a structural
+    /// crash) and went straight to phase 2.
+    Primal,
+    /// A basis was offered but rejected (shape mismatch, singular
+    /// install, neither primal- nor dual-feasible, or a stalled warm
+    /// loop); the solve fell back cold. Cost, never correctness.
+    Rejected,
+}
+
+impl WarmStart {
+    /// Stable lowercase name, for logs and bench documents.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            WarmStart::Cold => "cold",
+            WarmStart::Dual => "dual",
+            WarmStart::Primal => "primal",
+            WarmStart::Rejected => "rejected",
+        }
+    }
+}
+
 /// Dimension and work counters of one LP solve.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LpStats {
@@ -31,4 +68,7 @@ pub struct LpStats {
     pub bound_flips: usize,
     /// Basis refactorizations (revised engine only).
     pub refactorizations: usize,
+    /// Warm-start provenance (revised engine only; always
+    /// [`WarmStart::Cold`] for the dense engines).
+    pub warm: WarmStart,
 }
