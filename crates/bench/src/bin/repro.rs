@@ -12,6 +12,7 @@
 //! repro bench-pr4 [--out PATH] [--smoke]   # race workloads, analytic vs simulated → BENCH_pr4.json
 //! repro bench-pr5 [--out PATH] [--smoke]   # event-heap vs tick-loop sim core + certification coverage → BENCH_pr5.json
 //! repro bench-pr7 [--out PATH] [--smoke]   # cross-request reuse cache + delta solving → BENCH_pr7.json
+//! repro bench-pr8 [--out PATH] [--smoke]   # wire-reachable sweeps + persistent solution cache → BENCH_pr8.json
 //! ```
 
 use rtt_bench::experiments as exp;
@@ -107,6 +108,14 @@ fn run_bench_pr7(args: &[String], trials: usize) {
     write_bench(&out_path, &report.render(), &report.to_json());
 }
 
+/// Runs the PR-8 wire-sweep + persistence baseline and writes the JSON
+/// document.
+fn run_bench_pr8(args: &[String], trials: usize) {
+    let (out_path, smoke) = bench_flags("bench-pr8", "BENCH_pr8.json", args);
+    let report = rtt_bench::sweep_perf::measure(trials, smoke);
+    write_bench(&out_path, &report.render(), &report.to_json());
+}
+
 /// Runs the PR-3 revised-simplex/warm-sweep baseline and writes the
 /// JSON document.
 fn run_bench_pr3(args: &[String], trials: usize) {
@@ -119,7 +128,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro [all|table1|table2|table3|fig1|fig2|fig3|fig45|fig67|fig89|fig1011|fig1214|fig1516|fig1718|spdp|lp|regimes|alpha|bench-pr1|bench-pr2|bench-pr3|bench-pr4|bench-pr5|bench-pr7] ..."
+            "usage: repro [all|table1|table2|table3|fig1|fig2|fig3|fig45|fig67|fig89|fig1011|fig1214|fig1516|fig1718|spdp|lp|regimes|alpha|bench-pr1|bench-pr2|bench-pr3|bench-pr4|bench-pr5|bench-pr7|bench-pr8] ..."
         );
         std::process::exit(2);
     }
@@ -151,6 +160,10 @@ fn main() {
     }
     if args[0] == "bench-pr7" {
         run_bench_pr7(&args[1..], trials);
+        return;
+    }
+    if args[0] == "bench-pr8" {
+        run_bench_pr8(&args[1..], trials);
         return;
     }
     if args

@@ -15,6 +15,7 @@ pub mod perf;
 pub mod race_perf;
 pub mod reuse_perf;
 pub mod sim_perf;
+pub mod sweep_perf;
 pub mod table;
 
 pub use experiments::*;

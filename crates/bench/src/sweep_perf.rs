@@ -1,0 +1,396 @@
+//! The PR-8 wire-sweep + persistence baseline: machine-readable
+//! evidence that the delta tier serves real batch traffic and survives
+//! restarts.
+//!
+//! `repro bench-pr8 [--out PATH] [--smoke]` measures, **in the same
+//! binary**, over a sweep-heavy redundant corpus (each base appears as
+//! a `budgets` sweep line, its exact duplicate, and a relabeling)
+//! flowing through the real batch path (parse → prep cache → executor
+//! → rendered NDJSON):
+//!
+//! * **cold batch** — the same curve points requested as independent
+//!   per-point `budget` lines, cache off: what serving a sweep cost
+//!   before the wire learned the `budgets` field;
+//! * **wire sweep** — the sweep corpus, cache off: one self-contained
+//!   chained delta session per line (crash start, then per-point dual
+//!   reoptimization), with full per-point certification;
+//! * **warm restart** — the sweep corpus primed with the reuse cache
+//!   on, spilled to a `rtt-cache-v1` file, then served by a *fresh*
+//!   cache loaded from that file: the loaded solution tier must answer
+//!   at least half the corpus (it answers all of it — duplicates and
+//!   relabelings share the canonical key).
+//!
+//! Before any number is reported, the byte-identity grid is asserted
+//! in-binary: the sweep corpus's NDJSON stream is identical across
+//! cache {off, on} × {no spill, loaded spill} × 1/2/4/8 threads.
+//! The pinned chain-pivot count for `race_instance(16, 16)` over the
+//! 0..16 grid is also recorded as the CI envelope evidence
+//! (`crates/bench/tests/perf_guard.rs` enforces the [20, 300] window).
+
+use crate::perf::race_instance;
+use rtt_cli::spec::{EdgeSpec, InstanceSpec};
+use rtt_engine::{
+    persist, run_batch_cached, PrepCache, PreparedInstance, Registry, ReuseCache, ReuseStats,
+    SolveRequest,
+};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// A node/arc relabeling of `spec` (same instance up to isomorphism,
+/// different document), deterministic in `seed`. Self-contained
+/// SplitMix64 Fisher–Yates, like `reuse_perf`'s.
+fn relabel(spec: &InstanceSpec, seed: u64) -> InstanceSpec {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let n = spec.nodes.len();
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        perm.swap(i, (next() % (i as u64 + 1)) as usize);
+    }
+    let mut edges: Vec<EdgeSpec> = spec
+        .edges
+        .iter()
+        .map(|e| EdgeSpec {
+            src: perm[e.src],
+            dst: perm[e.dst],
+            duration: e.duration.clone(),
+            label: e.label.clone(),
+        })
+        .collect();
+    for i in (1..edges.len()).rev() {
+        edges.swap(i, (next() % (i as u64 + 1)) as usize);
+    }
+    InstanceSpec {
+        form: spec.form,
+        nodes: spec.nodes.clone(),
+        edges,
+    }
+}
+
+/// The budget grid every sweep in the corpus uses.
+fn grid(len: u64) -> Vec<u64> {
+    (0..len).map(|i| i * 2).collect()
+}
+
+/// The sweep corpus: each base contributes its sweep, an exact
+/// duplicate, and a relabeled twin — all answerable from one cached
+/// report vector.
+fn sweep_corpus(n_bases: usize, grid_len: u64) -> String {
+    let g: Vec<String> = grid(grid_len).iter().map(u64::to_string).collect();
+    let g = format!("[{}]", g.join(","));
+    let mut lines = Vec::with_capacity(3 * n_bases);
+    for i in 0..n_bases {
+        let spec = InstanceSpec::from_arc(&race_instance(2000 + i as u64, 6 + i % 5));
+        let doc = spec.to_json().compact();
+        let rel = relabel(&spec, i as u64).to_json().compact();
+        lines.push(format!(
+            r#"{{"id":"s{i}-orig","instance":{doc},"budgets":{g}}}"#
+        ));
+        lines.push(format!(
+            r#"{{"id":"s{i}-dup","instance":{doc},"budgets":{g}}}"#
+        ));
+        lines.push(format!(
+            r#"{{"id":"s{i}-rel","instance":{rel},"budgets":{g}}}"#
+        ));
+    }
+    lines.join("\n")
+}
+
+/// The cold comparator: the *same* curve points as independent
+/// per-point `budget` lines (what a sweep cost before PR 8 made the
+/// chain wire-reachable).
+fn pointwise_corpus(n_bases: usize, grid_len: u64) -> String {
+    let mut lines = Vec::new();
+    for i in 0..n_bases {
+        let spec = InstanceSpec::from_arc(&race_instance(2000 + i as u64, 6 + i % 5));
+        let doc = spec.to_json().compact();
+        let rel = relabel(&spec, i as u64).to_json().compact();
+        for (tag, body) in [("orig", &doc), ("dup", &doc), ("rel", &rel)] {
+            for b in grid(grid_len) {
+                lines.push(format!(
+                    r#"{{"id":"s{i}-{tag}-b{b}","instance":{body},"budget":{b},"solver":"bicriteria"}}"#
+                ));
+            }
+        }
+    }
+    lines.join("\n")
+}
+
+/// One batch run through the real CLI pipeline. `spill`: a
+/// `rtt-cache-v1` file to pre-load into a fresh reuse cache (implies
+/// the cache is on, as the CLI flags do). Returns the NDJSON stream,
+/// the wall time (ms), the summed per-report `work` (simplex pivots on
+/// the wire), and the reuse stats.
+fn run_once(
+    corpus: &str,
+    threads: usize,
+    cached: bool,
+    spill: Option<&PathBuf>,
+) -> (String, f64, u64, Option<ReuseStats>) {
+    let registry = Registry::standard();
+    let cache = PrepCache::with_capacity(1024);
+    let reuse = (cached || spill.is_some()).then(|| ReuseCache::new(1024));
+    if let (Some(path), Some(reuse)) = (spill, &reuse) {
+        persist::load(reuse, path, &registry).expect("spill loads");
+    }
+    let requests = rtt_cli::batch::build_requests(corpus, &cache, None, &registry)
+        .expect("corpus parses");
+    let started = Instant::now();
+    let out = run_batch_cached(&registry, requests, threads, reuse.as_ref());
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let mut rendered = String::new();
+    let mut pivots = 0u64;
+    for r in &out.reports {
+        pivots += r.work;
+        rendered.push_str(&rtt_cli::report_line(r));
+        rendered.push('\n');
+    }
+    (rendered, wall_ms, pivots, reuse.map(|c| c.stats()))
+}
+
+/// The pinned chain-pivot evidence behind the CI envelope: the summed
+/// per-point `work` of the wire sweep on `race_instance(16, 16)` over
+/// the 0..16 grid — the PR-3 warm-sweep guard's exact grid, so the two
+/// counters are comparable (deterministic — a pure function of the
+/// request).
+pub fn pinned_chain_pivots() -> u64 {
+    let registry = Registry::standard();
+    let prep = std::sync::Arc::new(PreparedInstance::new(race_instance(16, 16)));
+    let req = SolveRequest::sweep("pin", prep, (0..16).collect());
+    rtt_engine::execute_one(&registry, &req, Instant::now())
+        .iter()
+        .map(|r| r.work)
+        .sum()
+}
+
+/// The full PR-8 measurement set.
+#[derive(Debug, Clone)]
+pub struct SweepPerfReport {
+    /// Host cores (`std::thread::available_parallelism`).
+    pub cores: usize,
+    /// Timed iterations per point (median taken).
+    pub trials: usize,
+    /// Base instances in the corpus.
+    pub bases: usize,
+    /// Grid points per sweep.
+    pub grid_len: usize,
+    /// Lines in the sweep corpus (3 × bases).
+    pub sweep_requests: usize,
+    /// Lines in the per-point cold comparator corpus.
+    pub point_requests: usize,
+    /// Whether the sweep NDJSON stream was identical across cache
+    /// {off, on} × {no spill, loaded spill} × 1/2/4/8 threads —
+    /// asserted in-binary *before* any number below was recorded.
+    pub byte_identical: bool,
+    /// Median wall (ms) of the per-point cold comparator, 1 thread.
+    pub cold_wall_ms: f64,
+    /// Summed wire pivots of the per-point comparator.
+    pub cold_pivots: u64,
+    /// Median wall (ms) of the wire-sweep corpus, cache off, 1 thread.
+    pub wire_wall_ms: f64,
+    /// Summed wire pivots of the wire-sweep corpus.
+    pub wire_pivots: u64,
+    /// `cold_wall_ms / wire_wall_ms`.
+    pub wall_speedup: f64,
+    /// Median wall (ms) of the warm restart (fresh cache, loaded spill).
+    pub restart_wall_ms: f64,
+    /// Reuse stats of the warm-restart run.
+    pub restart: ReuseStats,
+    /// Fraction of the restart corpus served from the loaded tier.
+    pub restart_hit_rate: f64,
+    /// The pinned chain pivots (CI envelope evidence, window [20, 300]).
+    pub pinned_pivots: u64,
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Runs every measurement. Sizes shrink under `smoke` (CI).
+pub fn measure(trials: usize, smoke: bool) -> SweepPerfReport {
+    let n_bases = if smoke { 6 } else { 24 };
+    let grid_len = if smoke { 5u64 } else { 9 };
+    let sweeps = sweep_corpus(n_bases, grid_len);
+    let points = pointwise_corpus(n_bases, grid_len);
+
+    // prime + spill once: the restart runs load this file
+    let spill = std::env::temp_dir().join(format!("rtt-bench-pr8-{}.cache", std::process::id()));
+    {
+        let registry = Registry::standard();
+        let cache = PrepCache::with_capacity(1024);
+        let reuse = ReuseCache::new(1024);
+        let requests = rtt_cli::batch::build_requests(&sweeps, &cache, None, &registry)
+            .expect("corpus parses");
+        run_batch_cached(&registry, requests, 1, Some(&reuse));
+        persist::save(&reuse, &spill).expect("spill saves");
+    }
+
+    // the byte-identity grid comes FIRST: no number is reported from a
+    // configuration whose bytes were not proven equal
+    let (baseline, _, _, _) = run_once(&sweeps, 1, false, None);
+    let mut byte_identical = true;
+    for threads in [1usize, 2, 4, 8] {
+        for (cached, load) in [(false, false), (true, false), (true, true)] {
+            let spill_ref = load.then_some(&spill);
+            let (rendered, _, _, _) = run_once(&sweeps, threads, cached, spill_ref);
+            byte_identical &= rendered == baseline;
+        }
+    }
+    assert!(
+        byte_identical,
+        "cache/spill/thread grid changed the sweep wire bytes"
+    );
+
+    let mut cold_walls = Vec::new();
+    let mut wire_walls = Vec::new();
+    let mut restart_walls = Vec::new();
+    let mut cold_pivots = 0;
+    let mut wire_pivots = 0;
+    let mut restart = ReuseStats::default();
+    for _ in 0..trials.max(1) {
+        let (_, wall, pivots, _) = run_once(&points, 1, false, None);
+        cold_walls.push(wall);
+        cold_pivots = pivots;
+        let (_, wall, pivots, _) = run_once(&sweeps, 1, false, None);
+        wire_walls.push(wall);
+        wire_pivots = pivots;
+        let (_, wall, _, stats) = run_once(&sweeps, 1, false, Some(&spill));
+        restart_walls.push(wall);
+        restart = stats.expect("restart run has reuse stats");
+    }
+    std::fs::remove_file(&spill).ok();
+
+    let sweep_requests = sweeps.lines().count();
+    let cold_wall_ms = median(&mut cold_walls);
+    let wire_wall_ms = median(&mut wire_walls);
+    SweepPerfReport {
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        trials: trials.max(1),
+        bases: n_bases,
+        grid_len: grid_len as usize,
+        sweep_requests,
+        point_requests: points.lines().count(),
+        byte_identical,
+        cold_wall_ms,
+        cold_pivots,
+        wire_wall_ms,
+        wire_pivots,
+        wall_speedup: cold_wall_ms / wire_wall_ms.max(1e-9),
+        restart_wall_ms: median(&mut restart_walls),
+        restart_hit_rate: restart.solution_hits as f64 / sweep_requests.max(1) as f64,
+        restart,
+        pinned_pivots: pinned_chain_pivots(),
+    }
+}
+
+impl SweepPerfReport {
+    /// Renders the machine-readable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"rtt-bench/sweep-v1\",\n");
+        out.push_str("  \"pr\": 8,\n");
+        out.push_str(&format!("  \"cores\": {},\n", self.cores));
+        out.push_str(&format!("  \"trials\": {},\n", self.trials));
+        out.push_str(
+            "  \"note\": \"cold per-point comparator, wire-sweep chain, and spilled-cache warm restart run the same curve points in the same binary; byte_identical covers cache off/on x no-spill/loaded-spill x 1/2/4/8 threads and is asserted before any number is recorded (crates/bench/src/sweep_perf.rs)\",\n",
+        );
+        out.push_str(&format!(
+            "  \"corpus\": {{\"bases\": {}, \"grid_len\": {}, \"sweep_requests\": {}, \"point_requests\": {}}},\n",
+            self.bases, self.grid_len, self.sweep_requests, self.point_requests
+        ));
+        out.push_str(&format!(
+            "  \"byte_identical\": {},\n",
+            self.byte_identical
+        ));
+        out.push_str(&format!(
+            "  \"cold\": {{\"wall_ms\": {:.3}, \"pivots\": {}}},\n",
+            self.cold_wall_ms, self.cold_pivots
+        ));
+        out.push_str(&format!(
+            "  \"wire_sweep\": {{\"wall_ms\": {:.3}, \"pivots\": {}, \"wall_speedup\": {:.2}}},\n",
+            self.wire_wall_ms, self.wire_pivots, self.wall_speedup
+        ));
+        out.push_str(&format!(
+            "  \"warm_restart\": {{\"wall_ms\": {:.3}, \"solution_hits\": {}, \"solution_misses\": {}, \"hit_rate\": {:.3}, \"pivots_saved\": {}}},\n",
+            self.restart_wall_ms,
+            self.restart.solution_hits,
+            self.restart.solution_misses,
+            self.restart_hit_rate,
+            self.restart.pivots_saved,
+        ));
+        out.push_str(&format!(
+            "  \"pinned_chain\": {{\"instance\": \"race_instance(16, 16)\", \"grid\": \"0..16\", \"pivots\": {}, \"envelope\": [20, 300]}}\n",
+            self.pinned_pivots
+        ));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders a human-readable summary.
+    pub fn render(&self) -> String {
+        format!(
+            "==== bench-pr8 (cores = {}, corpus = {} sweeps x {} points over {} bases) ====\n\
+             byte-identical across cache off/on x no-spill/loaded-spill x 1/2/4/8 threads: {}\n\
+             cold per-point ({} lines): {:.1} ms, {} pivots\n\
+             wire sweep 1t: {:.1} ms, {} pivots ({:.2}x wall vs cold)\n\
+             warm restart from spill: {:.1} ms, {}/{} solution hits ({:.0}% of corpus), {} pivots saved\n\
+             pinned chain race_instance(16,16) 0..16: {} pivots (envelope [20, 300])\n",
+            self.cores,
+            self.sweep_requests,
+            self.grid_len,
+            self.bases,
+            self.byte_identical,
+            self.point_requests,
+            self.cold_wall_ms,
+            self.cold_pivots,
+            self.wire_wall_ms,
+            self.wire_pivots,
+            self.wall_speedup,
+            self.restart_wall_ms,
+            self.restart.solution_hits,
+            self.restart.solution_hits + self.restart.solution_misses,
+            self.restart_hit_rate * 100.0,
+            self.restart.pivots_saved,
+            self.pinned_pivots,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_measurement_is_consistent_and_serializes() {
+        let r = measure(1, true);
+        assert!(r.byte_identical, "caches and spills must never change bytes");
+        assert!(
+            r.wire_pivots < r.cold_pivots,
+            "the chained sweep ({}) must beat per-point cold ({}) on pivots",
+            r.wire_pivots,
+            r.cold_pivots
+        );
+        assert!(
+            r.restart_hit_rate >= 0.5,
+            "the loaded tier must serve at least half the corpus: {:?}",
+            r.restart
+        );
+        assert!(
+            (20..=300).contains(&r.pinned_pivots),
+            "pinned chain pivots {} outside the CI envelope",
+            r.pinned_pivots
+        );
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": \"rtt-bench/sweep-v1\""));
+        assert!(json.contains("\"byte_identical\": true"));
+        assert!(json.ends_with("}\n"));
+        assert!(r.render().contains("bench-pr8"));
+    }
+}

@@ -71,6 +71,35 @@ fn warm_sweep_pivots_stay_in_envelope() {
 }
 
 #[test]
+fn wire_sweep_pivots_stay_in_envelope() {
+    // The PR-8 wire-reachable sweep: a batch `budgets` request answered
+    // by one self-contained chained delta session. Its summed per-point
+    // `work` on the pinned instance/grid must cost no more than the
+    // PR-3 warm-sweep counter it is built on (same chain, behind the
+    // executor), and stay inside the same committed envelope.
+    let arc = race_instance(16, 16);
+    let tt = expand_two_tuples(&arc);
+    let grid: Vec<u64> = (0..16).collect();
+    let warm = solve_min_makespan_sweep(&tt, &grid).unwrap();
+    let warm_total: u64 = warm.iter().map(|f| f.pivots as u64).sum();
+
+    let wire_total = rtt_bench::sweep_perf::pinned_chain_pivots();
+    // determinism: the wire counter is a pure function of the request
+    assert_eq!(
+        wire_total,
+        rtt_bench::sweep_perf::pinned_chain_pivots(),
+        "wire sweep must be deterministic"
+    );
+    assert!(
+        wire_total <= warm_total,
+        "wire sweep {wire_total} pivots exceeds the warm-sweep chain {warm_total}"
+    );
+    // measured at commit time: 132 chained pivots (BENCH_pr8.json's
+    // pinned_chain evidence)
+    within("wire sweep pivots", wire_total, 20, 300);
+}
+
+#[test]
 fn delta_solve_pivots_stay_in_envelope() {
     // The PR-7 delta path on the pinned bench pair: race_instance(16, 16)
     // as the donor, its duration-perturbed shape sibling as the target.

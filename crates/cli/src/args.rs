@@ -129,6 +129,29 @@ pub fn parse_budgets(spec: &str) -> Result<Vec<u64>, String> {
     }
 }
 
+/// Parses the `--cache-capacity` flag (default 1024): the shared LRU
+/// bound of the preprocessing cache and the opt-in reuse cache.
+///
+/// Zero, negative, and garbage values are rejected **here**, at arg
+/// parse, with a pointed message — they used to flow unvalidated into
+/// the cache constructors, where `ReuseCache` silently clamped 0 to 1
+/// (a capacity the user never asked for).
+pub fn parse_cache_capacity(args: &Args) -> Result<usize, String> {
+    if args.switch("cache-capacity") && !args.flags.contains_key("cache-capacity") {
+        return Err("flag --cache-capacity needs a value".into());
+    }
+    match args.flags.get("cache-capacity") {
+        None => Ok(1024),
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(0) => Err("--cache-capacity must be at least 1, got 0".into()),
+            Ok(n) => Ok(n),
+            Err(_) => Err(format!(
+                "invalid value for --cache-capacity: {raw} (expected a positive integer)"
+            )),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +241,33 @@ mod tests {
         assert!(parse_budgets("0:4:0").is_err(), "zero step");
         assert!(parse_budgets("0:4").is_err(), "two-part range");
         assert!(parse_budgets("a,b").is_err());
+    }
+
+    #[test]
+    fn cache_capacity_rejects_zero_negative_and_garbage() {
+        // satellite 1 (PR 8): bad capacities die at arg parse with a
+        // message naming the flag, never inside a cache constructor
+        assert_eq!(parse_cache_capacity(&parse(&["batch"])).unwrap(), 1024);
+        assert_eq!(
+            parse_cache_capacity(&parse(&["batch", "--cache-capacity", "8"])).unwrap(),
+            8
+        );
+        assert_eq!(
+            parse_cache_capacity(&parse(&["batch", "--cache-capacity", "0"])).unwrap_err(),
+            "--cache-capacity must be at least 1, got 0"
+        );
+        assert_eq!(
+            parse_cache_capacity(&parse(&["batch", "--cache-capacity", "-5"])).unwrap_err(),
+            "invalid value for --cache-capacity: -5 (expected a positive integer)"
+        );
+        assert_eq!(
+            parse_cache_capacity(&parse(&["batch", "--cache-capacity", "many"])).unwrap_err(),
+            "invalid value for --cache-capacity: many (expected a positive integer)"
+        );
+        assert_eq!(
+            parse_cache_capacity(&parse(&["batch", "--cache-capacity"])).unwrap_err(),
+            "flag --cache-capacity needs a value"
+        );
     }
 
     #[test]

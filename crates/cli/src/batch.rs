@@ -11,11 +11,12 @@
 //! | field | required | meaning |
 //! |---|---|---|
 //! | `instance` | yes | an instance document (same schema as `rtt solve` files, see [`crate::spec::InstanceSpec`]) |
-//! | `budget` | one of budget/target | min-makespan objective with this resource budget |
-//! | `target` | one of budget/target | min-resource objective with this makespan target |
-//! | `objective` | no | `"min-makespan"` / `"min-resource"`; inferred from `budget`/`target` when omitted |
+//! | `budget` | one of budget/target/budgets | min-makespan objective with this resource budget |
+//! | `target` | one of budget/target/budgets | min-resource objective with this makespan target |
+//! | `budgets` | one of budget/target/budgets | a **tradeoff-curve sweep**: min-makespan at every budget of the grid, given as a JSON array (`[0,2,4]`) or a grid string (`"0:16:2"` inclusive, or `"1,8,2"`); answered by one report line per budget, in grid order (see "Sweep response lines") |
+//! | `objective` | no | `"min-makespan"` / `"min-resource"`; inferred from `budget`/`target` when omitted; not accepted on `budgets` lines |
 //! | `id` | no | echoed in reports; defaults to `line-<n>` (1-based) |
-//! | `solver` | no | registry name or alias; omitted = every supporting solver |
+//! | `solver` | no | registry name or alias; omitted = every supporting solver. On `budgets` lines the only accepted value is `bicriteria` (sweeps are a bicriteria-pipeline service), and the batch `--solver` default does not apply |
 //! | `alpha` | no | bi-criteria rounding parameter in (0, 1); default 0.5 |
 //! | `deadline_ms` | no | per-request deadline from enqueue, in milliseconds — **excluded from the byte-stability guarantee** (expiry depends on wall-clock and thread count) |
 //! | `seed` | no | echoed into the request (reserved; solvers are deterministic) |
@@ -58,21 +59,38 @@
 //! change what a run costs, never what it emits.** The NDJSON stream
 //! is byte-identical with caching on, off, or at any `--threads`
 //! value and any `--cache-capacity`, because the batch path reuses
-//! only *whole deterministic reports*: a cached report is a pure
-//! function of (canonical instance, objective, budget/target, alpha,
-//! seed, solver), every field on the wire included — `work` and the
-//! `budget` block replay exactly because nothing about a hit re-runs
-//! the solver. Before a cached report is emitted its solution is
-//! re-certified from scratch (analytic certificates and the
-//! Observation 1.1 simulation replay), so a reused answer passes the
-//! same gauntlet a fresh one does. Requests that declare `max_*`
-//! budgets or `deadline_ms` bypass the solution cache entirely. The
-//! warm-basis/delta-solving tier of the reuse cache accelerates
-//! *sweeps* (`rtt curve` and the engine's sweep service) where it is
-//! objective-equal but pivot-count-visible; it is structurally
-//! unreachable from this wire format. Cache statistics (instance
-//! hits, solution hits, warm-basis hits, delta solves, evictions) go
-//! to **stderr only**, never into the NDJSON stream.
+//! only *whole deterministic report vectors*: a cached report is a
+//! pure function of (canonical instance, objective,
+//! budget/target/budgets grid, alpha, seed, solver), every field on
+//! the wire included — `work` and the `budget` block replay exactly
+//! because nothing about a hit re-runs the solver. Before a cached
+//! report is emitted its solution is re-verified from scratch
+//! (analytic validation of the solution form, then the Observation 1.1
+//! simulation replay), so a reused answer passes the same gauntlet a
+//! fresh one does. Requests that declare `max_*` budgets or
+//! `deadline_ms` bypass the solution cache entirely. The
+//! warm-basis/delta-solving tier of the reuse cache accelerates the
+//! `rtt curve` / `solve_curve_cached` API, where it is objective-equal
+//! but pivot-count-visible; wire sweeps deliberately never read it
+//! (see "Sweep response lines"), so it stays structurally unreachable
+//! from this wire format. Cache statistics (instance hits, solution
+//! hits, warm-basis hits, delta solves, evictions) go to **stderr
+//! only**, never into the NDJSON stream.
+//!
+//! ## Persistence: `--cache-save` / `--cache-load`
+//!
+//! `rtt batch --cache-save PATH` spills the solution tier after the
+//! batch; `--cache-load PATH` preloads it before (both imply
+//! `--reuse-cache`). The file is the versioned `rtt-cache-v1` format
+//! ([`rtt_engine::persist`]); a corrupt, truncated, or
+//! version-mismatched file fails the command loudly with zero entries
+//! loaded — never a half-populated cache. The trust rule extends the
+//! invariant above across restarts: a **loaded entry is untrusted**
+//! until a request's full key string matches it *and* its solution
+//! passes the same fresh analytic re-validation + Observation 1.1
+//! replay at serve time; the spill can therefore only change what a
+//! run costs, never what it emits, and a warm restart's stdout is
+//! byte-identical to a cold run's.
 //!
 //! A `budget` of **0** is valid and well-defined: it is the
 //! zero-resource point of the tradeoff — LP 6–10 routes no flow, every
@@ -134,6 +152,39 @@
 //!   deterministically, so the whole block is byte-stable; requests
 //!   without `max_*` fields never carry it, which keeps pre-budget
 //!   corpora byte-identical.
+//!
+//! # Sweep response lines
+//!
+//! A `budgets` request expands to **one report line per grid budget**,
+//! in grid order, each the curve-point form prefixed with the request
+//! identity:
+//!
+//! ```json
+//! {"id":"s1","solver":"bicriteria","budget":4,"status":"solved","lp_makespan":2.5,"makespan":5,"budget_used":6,"makespan_factor":2.0,"resource_factor":2.0,"work":17,"sim_makespan":5}
+//! ```
+//!
+//! The body fields are byte-for-byte the `rtt curve` wire form
+//! ([`curve_line`]) — one renderer serves both, so the forms cannot
+//! drift — including full per-point certification: `sim_makespan` on
+//! every point. A whole-sweep failure (infeasible LP, exhausted
+//! budget) yields a single non-`solved` line for the request.
+//!
+//! Determinism rule: a wire sweep is answered by one
+//! **self-contained** chained delta session — crash start, then
+//! per-point dual reoptimization ([`rtt_engine::execute_sweep_wire`]).
+//! No warm state crosses requests, so the per-point `work` counters
+//! are a pure function of the request line: byte-identical across
+//! `--threads`, cache modes, spills, and restarts, while still paying
+//! a small fraction of N independent cold solves (the chain is the
+//! delta tier's engine). Cross-request reuse of *identical* sweeps
+//! rides the solution cache as a whole per-point vector. Sweeps that
+//! declare `max_*` budgets or `deadline_ms` instead degrade to
+//! independent per-point cold solves on the request's own meter
+//! ([`rtt_engine::execute_sweep_pointwise`]): a budgeted sweep's
+//! `consumed` counters must describe that run's metered work, so it
+//! must never take a path whose cost depends on cache state. On those
+//! lines the consumption block rides under `resource_budget` (the grid
+//! point already owns the `budget` key).
 //!
 //! `sim_makespan` is the **simulation certificate** (Observation 1.1):
 //! the engine physically expanded the solution into its update-granular
@@ -215,6 +266,71 @@ fn parse_request_line(
         Some(v) => Some(v.as_u64().map_err(|e| e.to_string())?),
         None => None,
     };
+    // a `budgets` field makes the line a tradeoff-curve sweep: a JSON
+    // array of grid points, or a grid string in the `rtt curve`
+    // `a:b:step` / `a,b,c` syntax
+    let grid = match doc.get("budgets") {
+        Some(Json::Arr(items)) => Some(
+            items
+                .iter()
+                .map(|v| v.as_u64().map_err(|e| e.to_string()))
+                .collect::<Result<Vec<u64>, String>>()?,
+        ),
+        Some(v) => Some(crate::args::parse_budgets(
+            v.as_str().map_err(|_| "budgets must be an array or a grid string")?,
+        )?),
+        None => None,
+    };
+    if let Some(budgets) = grid {
+        if budget.is_some() || target.is_some() {
+            return Err("`budgets` conflicts with `budget`/`target`".into());
+        }
+        if doc.get("objective").is_some() {
+            return Err("`budgets` lines take no `objective` field".into());
+        }
+        if budgets.is_empty() {
+            return Err("`budgets` must name at least one grid point".into());
+        }
+        // sweeps are a bicriteria-pipeline service: a per-line solver
+        // other than bicriteria is a usage error, and the batch
+        // --solver default deliberately does not apply
+        if let Some(v) = doc.get("solver") {
+            let name = v.as_str().map_err(|e| e.to_string())?;
+            if registry.resolve(name).map(|s| s.name()) != Some("bicriteria") {
+                return Err(format!(
+                    "sweep lines are answered by the bicriteria pipeline, not solver {name:?}"
+                ));
+            }
+        }
+        let alpha = match doc.get("alpha") {
+            Some(v) => v.as_f64().map_err(|e| e.to_string())?,
+            None => 0.5,
+        };
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(format!("alpha must be in (0, 1), got {alpha}"));
+        }
+        let deadline = match doc.get("deadline_ms") {
+            Some(v) => Some(StdDuration::from_millis(
+                v.as_u64().map_err(|e| e.to_string())?,
+            )),
+            None => None,
+        };
+        let seed = match doc.get("seed") {
+            Some(v) => v.as_u64().map_err(|e| e.to_string())?,
+            None => 0,
+        };
+        let budget_spec = parse_budget_fields(&doc)?;
+        return Ok(SolveRequest {
+            id,
+            prepared,
+            objective: Objective::MakespanSweep { budgets },
+            alpha,
+            solver: SolverSelection::Named("bicriteria".into()),
+            deadline,
+            seed,
+            budget: budget_spec,
+        });
+    }
     let objective = match doc.get("objective") {
         Some(v) => match v.as_str().map_err(|e| e.to_string())? {
             "min-makespan" => Objective::MinMakespan {
@@ -331,6 +447,14 @@ fn parse_budget_fields(doc: &Json) -> Result<Option<BudgetSpec>, String> {
 /// 1.1 simulation certificate (see the module docs). A non-`solved`
 /// report renders as `{"budget":…,"status":…,"detail":…}`.
 pub fn curve_line(budget: u64, r: &SolveReport) -> String {
+    Json::Obj(curve_fields(budget, r)).compact()
+}
+
+/// The shared field list of a curve point: the `rtt curve` line body
+/// and the sweep report-line body are both built here, so the two wire
+/// forms cannot drift (a batch sweep line is exactly a curve line with
+/// the `id`/`solver` identity prefix).
+fn curve_fields(budget: u64, r: &SolveReport) -> Vec<(String, Json)> {
     let mut fields: Vec<(String, Json)> = vec![
         ("budget".into(), Json::UInt(budget)),
         ("status".into(), Json::Str(r.status.as_str().into())),
@@ -358,7 +482,7 @@ pub fn curve_line(budget: u64, r: &SolveReport) -> String {
     } else {
         fields.push(("detail".into(), Json::Str(r.detail.clone())));
     }
-    Json::Obj(fields).compact()
+    fields
 }
 
 /// Renders one report as its canonical NDJSON line (no trailing
@@ -369,6 +493,17 @@ pub fn report_line(r: &SolveReport) -> String {
         ("id".into(), Json::Str(r.id.clone())),
         ("solver".into(), Json::Str(r.solver.into())),
     ];
+    // per-point sweep reports render as curve points with the identity
+    // prefix (see the module docs' "Sweep response lines"). The grid
+    // point already owns the `budget` key, so the consumption block
+    // rides under `resource_budget` here
+    if let Some(b) = r.sweep_budget {
+        fields.extend(curve_fields(b, r));
+        if let Some(block) = &r.budget {
+            fields.push(("resource_budget".into(), budget_block(block)));
+        }
+        return Json::Obj(fields).compact();
+    }
     if let Some(orig) = r.degraded_from {
         fields.push(("degraded_from".into(), Json::Str(orig.into())));
     }
@@ -599,6 +734,108 @@ mod tests {
         for threads in [2, 4] {
             assert_eq!(one, rerun(threads), "threads={threads}");
         }
+    }
+
+    fn sweep_line(id: &str, budgets: &str) -> String {
+        chain_line(id, 0).replace("\"budget\":0", &format!("\"budgets\":{budgets}"))
+    }
+
+    #[test]
+    fn sweep_lines_parse_in_both_spellings() {
+        let cache = PrepCache::new();
+        let registry = Registry::standard();
+        let corpus = format!(
+            "{}\n{}\n",
+            sweep_line("a", "[0,2,4]"),
+            sweep_line("b", "\"0:4:2\"")
+        );
+        let reqs = build_requests(&corpus, &cache, None, &registry).unwrap();
+        for r in &reqs {
+            assert!(matches!(
+                &r.objective,
+                Objective::MakespanSweep { budgets } if *budgets == vec![0, 2, 4]
+            ));
+            assert_eq!(r.solver, SolverSelection::Named("bicriteria".into()));
+        }
+        // the batch --solver default does not leak onto sweep lines
+        let reqs =
+            build_requests(&sweep_line("c", "[1]"), &cache, Some("exact"), &registry).unwrap();
+        assert_eq!(reqs[0].solver, SolverSelection::Named("bicriteria".into()));
+    }
+
+    #[test]
+    fn sweep_line_conflicts_and_bad_grids_are_rejected() {
+        let cache = PrepCache::new();
+        let registry = Registry::standard();
+        let both = chain_line("a", 3).replace("\"budget\":3", "\"budget\":3,\"budgets\":[1,2]");
+        let err = build_requests(&both, &cache, None, &registry).unwrap_err();
+        assert!(err.contains("conflicts with `budget`"), "{err}");
+        let obj = sweep_line("a", "[1,2]")
+            .replace("\"budgets\":[1,2]", "\"budgets\":[1,2],\"objective\":\"min-makespan\"");
+        let err = build_requests(&obj, &cache, None, &registry).unwrap_err();
+        assert!(err.contains("no `objective`"), "{err}");
+        let empty = sweep_line("a", "[]");
+        let err = build_requests(&empty, &cache, None, &registry).unwrap_err();
+        assert!(err.contains("at least one grid point"), "{err}");
+        let solver = sweep_line("a", "[1]")
+            .replace("\"budgets\":[1]", "\"budgets\":[1],\"solver\":\"exact\"");
+        let err = build_requests(&solver, &cache, None, &registry).unwrap_err();
+        assert!(err.contains("bicriteria pipeline"), "{err}");
+    }
+
+    #[test]
+    fn sweep_reports_render_curve_points_and_are_cache_and_thread_stable() {
+        let registry = Registry::standard();
+        // mixed traffic: a sweep, its exact duplicate, and a plain line
+        let corpus = format!(
+            "{}\n{}\n{}\n",
+            sweep_line("s1", "[0,2,4]"),
+            sweep_line("s2", "[0,2,4]"),
+            chain_line("q", 4)
+        );
+        let render = |threads: usize, cached: bool| {
+            let cache = PrepCache::new();
+            let reuse = cached.then(|| rtt_engine::ReuseCache::new(64));
+            let reqs = build_requests(&corpus, &cache, None, &registry).unwrap();
+            rtt_engine::run_batch_cached(&registry, reqs, threads, reuse.as_ref())
+                .reports
+                .iter()
+                .map(report_line)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let one = render(1, false);
+        // one line per grid point, identity-prefixed curve form
+        assert!(
+            one.contains("{\"id\":\"s1\",\"solver\":\"bicriteria\",\"budget\":0,\"status\":\"solved\""),
+            "{one}"
+        );
+        assert!(one.contains("\"sim_makespan\":"), "{one}");
+        // every sweep point certifies: 3 + 3 sweep lines, all solved
+        assert_eq!(one.matches("\"budget\":").count(), 6, "{one}");
+        for threads in [1, 2, 4, 8] {
+            for cached in [false, true] {
+                assert_eq!(
+                    one,
+                    render(threads, cached),
+                    "threads={threads} cached={cached} changed sweep bytes"
+                );
+            }
+        }
+        // and the body is byte-for-byte the rtt curve form
+        let cache = PrepCache::new();
+        let reqs = build_requests(&corpus, &cache, None, &registry).unwrap();
+        let out = rtt_engine::run_batch_cached(&registry, reqs, 1, None);
+        let r = &out.reports[0];
+        let body = curve_line(r.sweep_budget.unwrap(), r);
+        let full = report_line(r);
+        assert_eq!(
+            full,
+            format!(
+                "{{\"id\":\"s1\",\"solver\":\"bicriteria\",{}",
+                &body[1..]
+            )
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@ USAGE:
   rtt curve <instance.json> --budgets a:b:step|a,b,c [--alpha A] [--out PATH]
   rtt batch <corpus.ndjson> [--threads N] [--solver all|<name>] [--out PATH]
             [--max-pivots P] [--max-sim-events E] [--on-exhaustion hard-reject|degrade|soft-warn]
-            [--reuse-cache] [--cache-capacity N]
+            [--reuse-cache] [--cache-capacity N] [--cache-save PATH] [--cache-load PATH]
   rtt solvers
   rtt regimes <instance.json> --budget B
   rtt dot <instance.json>
@@ -48,11 +48,18 @@ request per line (see the rtt_cli::batch docs). `gen` writes an
 instance to stdout.
 
 `--reuse-cache` turns on the cross-request solution cache: duplicate
-and relabeled requests replay the first request's certified report
-instead of re-solving. Caches change cost, never bytes — batch stdout
-is byte-identical with the cache on or off, at any thread count and
-any `--cache-capacity` (the LRU bound, default 1024, shared with the
-always-on preprocessing cache). Cache statistics go to stderr.
+and relabeled requests (single solves and sweep lines alike) replay
+the first request's certified reports instead of re-solving. Caches
+change cost, never bytes — batch stdout is byte-identical with the
+cache on or off, at any thread count and any `--cache-capacity` (the
+LRU bound, default 1024, shared with the always-on preprocessing
+cache). Cache statistics go to stderr. `--cache-save PATH` spills the
+solution tier to a `rtt-cache-v1` file after the batch; `--cache-load
+PATH` pre-populates it before the batch (both imply --reuse-cache).
+Loaded entries are untrusted until served: full key comparison plus
+fresh analytic + simulation re-certification, and a corrupt or
+version-mismatched file fails the command without loading anything
+(see the rtt_cli::batch docs).
 
 The batch `--max-*` / `--on-exhaustion` flags apply a resource budget
 to every corpus line that declares no `max_*` field of its own
@@ -366,17 +373,22 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
             Some(name.to_string())
         }
     };
-    let capacity: usize = args.flag("cache-capacity")?.unwrap_or(1024);
-    if capacity == 0 {
-        return Err("--cache-capacity must be at least 1".into());
-    }
+    let capacity = rtt_cli::args::parse_cache_capacity(args)?;
+    let cache_save: Option<String> = args.flag("cache-save")?;
+    let cache_load: Option<String> = args.flag("cache-load")?;
     // the preprocessing cache is always bounded; the cross-request
-    // solution cache is opt-in. Neither can change stdout: caches trade
-    // cost, never bytes (see the rtt_cli::batch docs)
+    // solution cache is opt-in — persistence flags imply it. Neither
+    // can change stdout: caches trade cost, never bytes (see the
+    // rtt_cli::batch docs)
     let cache = PrepCache::with_capacity(capacity);
-    let reuse = args
-        .switch("reuse-cache")
+    let reuse = (args.switch("reuse-cache") || cache_save.is_some() || cache_load.is_some())
         .then(|| rtt_engine::ReuseCache::new(capacity));
+    if let (Some(path), Some(reuse)) = (&cache_load, &reuse) {
+        // all-or-nothing: a bad file fails the whole command loudly
+        let loaded = rtt_engine::persist::load(reuse, std::path::Path::new(path), &registry)
+            .map_err(|e| format!("--cache-load {path}: {e}"))?;
+        eprintln!("cache loaded: {loaded} entries from {path}");
+    }
     let mut requests =
         rtt_cli::batch::build_requests(&corpus, &cache, default_solver.as_deref(), &registry)?;
     if requests.is_empty() {
@@ -438,6 +450,11 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
             r.delta_solves,
             r.evictions,
         );
+    }
+    if let (Some(path), Some(reuse)) = (&cache_save, &reuse) {
+        let saved = rtt_engine::persist::save(reuse, std::path::Path::new(path))
+            .map_err(|e| format!("--cache-save {path}: {e}"))?;
+        eprintln!("cache spilled: {saved} entries -> {path}");
     }
     Ok(())
 }

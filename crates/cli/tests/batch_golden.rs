@@ -112,6 +112,88 @@ fn fault_fixtures_are_absent_without_the_env_gate() {
     );
 }
 
+const SWEEP_CORPUS: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/data/corpus_sweep.ndjson"
+);
+const SWEEP_GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/data/corpus_sweep.golden.ndjson"
+);
+
+/// The sweep corpus (wire-reachable `budgets` lines: duplicates, a
+/// relabeled twin, mixed plain traffic, and a budgeted sweep that must
+/// bypass the chained path) matches its committed golden byte for byte
+/// at every thread count, with the reuse cache off and on, and across
+/// a `--cache-save` → `--cache-load` restart. One golden serves every
+/// mode: caches change cost, never bytes. Regenerate with the
+/// corpus-smoke command above, swapping in the corpus_sweep paths.
+#[test]
+fn sweep_batch_matches_golden_across_cache_modes_and_restarts() {
+    let golden = std::fs::read_to_string(SWEEP_GOLDEN).expect("committed sweep golden");
+    // one line per grid point, curve-point form with the identity prefix
+    assert!(golden.contains("{\"id\":\"sweep-a\",\"solver\":\"bicriteria\",\"budget\":0,"));
+    // the budgeted sweep carries its consumption block per point
+    assert!(golden.contains("\"resource_budget\":{\"consumed\":"));
+    let dir = std::env::temp_dir().join(format!("rtt-sweep-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let spill = dir.join("sweep.cache");
+    let spill = spill.to_str().unwrap();
+    let run = |extra: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_rtt"))
+            .args(["batch", SWEEP_CORPUS])
+            .args(extra)
+            .output()
+            .expect("spawn rtt batch");
+        assert!(
+            out.status.success(),
+            "rtt batch {extra:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).expect("reports are UTF-8");
+        (stdout, String::from_utf8_lossy(&out.stderr).into_owned())
+    };
+    for threads in ["1", "2", "4", "8"] {
+        let (plain, _) = run(&["--threads", threads]);
+        assert_eq!(plain, golden, "plain sweep bytes diverged at --threads {threads}");
+        let (cached, _) = run(&["--threads", threads, "--reuse-cache", "--cache-capacity", "8"]);
+        assert_eq!(cached, golden, "--reuse-cache changed sweep bytes at --threads {threads}");
+    }
+    // restart: spill the solution tier, then serve from the loaded file
+    let (saved, save_err) = run(&["--threads", "1", "--cache-save", spill]);
+    assert_eq!(saved, golden, "--cache-save changed sweep bytes");
+    assert!(save_err.contains("cache spilled:"), "{save_err}");
+    let (loaded, load_err) = run(&["--threads", "4", "--cache-load", spill]);
+    assert_eq!(loaded, golden, "a loaded cache changed sweep bytes");
+    assert!(load_err.contains("cache loaded:"), "{load_err}");
+    // the loaded tier actually serves: every cacheable request hits
+    assert!(
+        load_err.contains("5/5 solution hits"),
+        "warm restart must serve from the spilled cache: {load_err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A corrupt or version-mismatched spill file fails the whole command
+/// loudly — nothing half-loads, nothing reaches stdout.
+#[test]
+fn corrupt_cache_files_fail_the_command_without_serving() {
+    let dir = std::env::temp_dir().join(format!("rtt-cache-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.cache");
+    std::fs::write(&bad, "rtt-cache-v0 fp=rtt-fp-v1 entries=0\n").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_rtt"))
+        .args(["batch", SWEEP_CORPUS, "--cache-load", bad.to_str().unwrap()])
+        .output()
+        .expect("spawn rtt batch");
+    assert!(!out.status.success(), "a bad cache file must fail the command");
+    assert!(out.stdout.is_empty(), "no reports may be served");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--cache-load"), "{stderr}");
+    assert!(stderr.contains("rtt-cache-v0"), "the error names the found tag: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn batch_summary_reports_cache_telemetry_on_stderr() {
     let out = Command::new(env!("CARGO_BIN_EXE_rtt"))

@@ -290,12 +290,23 @@ fn form_with(
     CanonicalForm { key, digest }
 }
 
+/// Version tag embedded at the head of every [`canonical_form`] key.
+/// Bump it whenever the serialization or the canonical-order rule
+/// changes; persistence formats that embed canonical keys (the
+/// `rtt-cache-v1` spill file) record this tag and treat a mismatch as
+/// a cold miss, never a compatible load.
+pub const CANONICAL_FORM_TAG: &str = "rtt-fp-v1";
+
+/// Version tag embedded at the head of every [`shape_form`] key — same
+/// bump rule as [`CANONICAL_FORM_TAG`].
+pub const SHAPE_FORM_TAG: &str = "rtt-shape-v1";
+
 /// Computes the canonical form — relabel-invariant key + digest — of an
 /// instance. Cost is `O(m log m)` plus two signature-refinement sweeps;
 /// callers that probe caches repeatedly should compute it once per
 /// instance (e.g. `rtt_engine::PreparedInstance` memoizes it).
 pub fn canonical_form(arc: &ArcInstance) -> CanonicalForm {
-    form_with(arc, "rtt-fp-v1", &duration_string)
+    form_with(arc, CANONICAL_FORM_TAG, &duration_string)
 }
 
 /// The **shape form**: the canonicalization of [`canonical_form`] with
@@ -312,7 +323,7 @@ pub fn canonical_form(arc: &ArcInstance) -> CanonicalForm {
 /// order exactly as in [`canonical_form`] — a missed share, never a
 /// wrong one (basis installs are verified).
 pub fn shape_form(arc: &ArcInstance) -> CanonicalForm {
-    form_with(arc, "rtt-shape-v1", &duration_shape_string)
+    form_with(arc, SHAPE_FORM_TAG, &duration_shape_string)
 }
 
 /// The [`Fingerprint`] of an instance (shorthand for

@@ -59,7 +59,10 @@ pub mod transform;
 pub use from_race::{
     instance_from_program, instance_from_race_dag, FromRaceError, ReducerFamily,
 };
-pub use fingerprint::{canonical_form, fingerprint, shape_form, CanonicalForm, Fingerprint};
+pub use fingerprint::{
+    canonical_form, fingerprint, shape_form, CanonicalForm, Fingerprint, CANONICAL_FORM_TAG,
+    SHAPE_FORM_TAG,
+};
 pub use instance::{ArcInstance, Activity, Instance, InstanceError, Job};
 pub use regimes::{
     compare_regimes, global_reuse_schedule, solve_noreuse_bicriteria,

@@ -11,16 +11,34 @@
 //! and min-flow routed through the same certified Theorem 3.4 stage as
 //! a single `bicriteria` solve, and validated before reporting.
 //!
-//! The chain's final basis is parked on the [`PreparedInstance`]
-//! ([`crate::prep::LpWarmState`]), so a later sweep on the same
-//! instance warm-starts across requests too.
+//! # Warm sources, and which callers may use which
+//!
+//! The chain's starting basis can come from three places, and the
+//! split is a *wire-determinism* rule, not an implementation accident:
+//!
+//! * **per-instance slot** ([`crate::prep::LpWarmState`], the
+//!   [`solve_curve`] API and `rtt curve`): a later sweep on the same
+//!   instance warm-starts across calls — pivot counts then depend on
+//!   call history, which is fine for an API whose caller owns that
+//!   history;
+//! * **shared warm tier** ([`solve_curve_cached`] with a
+//!   [`crate::reuse::ReuseCache`]): shape-keyed, so a
+//!   duration-perturbed sibling's basis seeds this chain too
+//!   (`accepts_basis`-verified at install);
+//! * **none** ([`execute_sweep_wire`], the batch executor's dispatch
+//!   target): the chain crash-starts deterministically, so its pivot
+//!   counts — which ride the wire as `work` — are a pure function of
+//!   the request line. The final basis is still parked (cost for later
+//!   API callers, never bytes). Cross-request reuse for wire sweeps
+//!   rides the *solution tier* instead, which replays whole report
+//!   vectors byte-identically.
 
 use crate::budget::BudgetContext;
 use crate::prep::PreparedInstance;
 use crate::request::{SolveRequest, SolveReport, Status};
 use rtt_budget::BudgetMeter;
 use rtt_core::lp_build::LpError;
-use rtt_core::{validate, Resource};
+use rtt_core::{validate, Resource, Solution};
 
 /// One point of the tradeoff curve.
 #[derive(Debug, Clone)]
@@ -43,6 +61,23 @@ pub struct CurvePoint {
     /// Observation 1.1 certificate: the rounded solution's reducer
     /// expansion simulated within `makespan` (see [`crate::certify`]).
     pub sim: Option<crate::certify::SimCertificate>,
+    /// The rounded routed solution itself — carried so sweep reports
+    /// can be re-validated and re-certified on a solution-tier replay
+    /// (and spilled/reloaded by the persistent cache).
+    pub solution: Solution,
+}
+
+/// Where a curve chain's starting basis comes from (see module docs).
+enum WarmSource<'a> {
+    /// The per-instance slot: warm across calls on the same prep.
+    Slot,
+    /// The shared shape-keyed warm tier of a reuse cache.
+    Shared(&'a crate::reuse::ReuseCache),
+    /// No starting basis: a deterministic crash-started chain whose
+    /// pivot counts depend only on (instance, grid). The template is
+    /// still taken from / parked back into the per-instance slot —
+    /// that trades build cost only.
+    Cold,
 }
 
 /// Solves the tradeoff curve for `prep` over `budgets` (in order) at
@@ -66,7 +101,7 @@ pub fn solve_curve_metered(
     alpha: f64,
     meter: Option<&BudgetMeter>,
 ) -> Result<Vec<CurvePoint>, LpError> {
-    solve_curve_cached(prep, budgets, alpha, meter, None)
+    solve_points(prep, budgets, alpha, meter, WarmSource::Slot)
 }
 
 /// [`solve_curve_metered`] with an optional cross-request
@@ -76,6 +111,10 @@ pub fn solve_curve_metered(
 /// seeds this chain too — instead of the per-instance slot. With
 /// `None` this is exactly the historical per-instance behavior, byte
 /// for byte (`rtt curve` passes `None`, pinning its golden).
+///
+/// This entry point serves API callers that own their call history;
+/// the batch wire goes through [`execute_sweep_wire`] instead, which
+/// never reads warm state (see the module docs).
 pub fn solve_curve_cached(
     prep: &PreparedInstance,
     budgets: &[Resource],
@@ -83,20 +122,36 @@ pub fn solve_curve_cached(
     meter: Option<&BudgetMeter>,
     reuse: Option<&crate::reuse::ReuseCache>,
 ) -> Result<Vec<CurvePoint>, LpError> {
+    let warm = match reuse {
+        Some(cache) => WarmSource::Shared(cache),
+        None => WarmSource::Slot,
+    };
+    solve_points(prep, budgets, alpha, meter, warm)
+}
+
+/// The shared chain body behind every curve entry point: resolve the
+/// warm source, run one `solve_sweep_metered` chain, park the final
+/// basis, round + validate + certify each point.
+fn solve_points(
+    prep: &PreparedInstance,
+    budgets: &[Resource],
+    alpha: f64,
+    meter: Option<&BudgetMeter>,
+    warm: WarmSource<'_>,
+) -> Result<Vec<CurvePoint>, LpError> {
     let arc = prep.arc();
     let tt = prep.tt();
-    // resolve the warm source: shared tier (shape-keyed) when a cache
-    // is present, the per-instance slot otherwise
-    let (mut state, start, cross) = match reuse {
-        None => {
+    let (mut state, start) = match &warm {
+        WarmSource::Slot => {
             let state = prep.take_lp_warm();
             let start = state.basis.clone();
-            (state, start, false)
+            (state, start)
         }
-        Some(cache) => match cache.take_warm(&prep.shape().key) {
+        WarmSource::Cold => (prep.take_lp_warm(), None),
+        WarmSource::Shared(cache) => match cache.take_warm(&prep.shape().key) {
             Some(entry) if entry.canonical == prep.canonical().key => {
                 let start = entry.state.basis.clone();
-                (entry.state, start, false)
+                (entry.state, start)
             }
             Some(entry) => {
                 // shape sibling: rebuild our template, cross its basis
@@ -106,31 +161,31 @@ pub fn solve_curve_cached(
                     .state
                     .basis
                     .filter(|b| state.lp.accepts_basis(b));
-                (state, start, true)
+                (state, start)
             }
             None => {
                 let state = prep.take_lp_warm();
                 let start = state.basis.clone();
-                (state, start, false)
+                (state, start)
             }
         },
     };
     let had_basis = start.is_some();
-    if had_basis && (cross || reuse.is_some()) {
-        if let Some(cache) = reuse {
+    if had_basis {
+        if let WarmSource::Shared(cache) = &warm {
             cache.note_delta();
         }
     }
     let swept = state.lp.solve_sweep_metered(tt, budgets, start.as_ref(), meter);
-    let park = |state: crate::prep::LpWarmState| match reuse {
-        Some(cache) => cache.put_warm(
+    let park = |state: crate::prep::LpWarmState| match &warm {
+        WarmSource::Shared(cache) => cache.put_warm(
             prep.shape().key.clone(),
             crate::reuse::WarmEntry {
                 canonical: prep.canonical().key.clone(),
                 state,
             },
         ),
-        None => prep.put_lp_warm(state),
+        WarmSource::Slot | WarmSource::Cold => prep.put_lp_warm(state),
     };
     let (points, basis) = match swept {
         Ok(r) => r,
@@ -169,32 +224,21 @@ pub fn solve_curve_cached(
             pivots,
             warm: i > 0 || had_basis,
             sim,
+            solution: approx.solution,
         });
     }
     Ok(out)
 }
 
-/// Expands a sweep request into per-point [`SolveReport`]s (one per
-/// budget, in grid order) — the executor's dispatch target for
-/// [`crate::Objective::MakespanSweep`].
-pub fn execute_sweep(
+/// Maps a curve result onto per-point [`SolveReport`]s (one per budget,
+/// in grid order) — or the single whole-request failure report the
+/// sweep semantics call for.
+fn point_reports(
     req: &SolveRequest,
-    budgets: &[Resource],
-    ctx: &BudgetContext,
-) -> Vec<SolveReport> {
-    execute_sweep_cached(req, budgets, ctx, None)
-}
-
-/// [`execute_sweep`] routed through an optional shared
-/// [`crate::reuse::ReuseCache`] (see [`solve_curve_cached`]).
-pub fn execute_sweep_cached(
-    req: &SolveRequest,
-    budgets: &[Resource],
-    ctx: &BudgetContext,
-    reuse: Option<&crate::reuse::ReuseCache>,
+    result: Result<Vec<CurvePoint>, LpError>,
 ) -> Vec<SolveReport> {
     const SOLVER: &str = "bicriteria";
-    match solve_curve_cached(&req.prepared, budgets, req.alpha, ctx.meter(), reuse) {
+    match result {
         Ok(points) => points
             .into_iter()
             .map(|p| {
@@ -207,6 +251,10 @@ pub fn execute_sweep_cached(
                 r.resource_factor = Some(1.0 / (1.0 - req.alpha));
                 r.work = p.pivots as u64;
                 r.sim = p.sim;
+                r.sweep_budget = Some(p.budget);
+                // carried so a solution-tier replay (and the persistent
+                // cache) can re-validate and re-certify this point
+                r.solution = Some(p.solution);
                 r
             })
             .collect(),
@@ -226,6 +274,49 @@ pub fn execute_sweep_cached(
             e.to_string(),
         )],
     }
+}
+
+/// Expands a sweep request into per-point [`SolveReport`]s — the
+/// executor's dispatch target for unbudgeted, deadline-free
+/// [`crate::Objective::MakespanSweep`] requests on the batch wire.
+///
+/// One **self-contained** chain: crash start, then per-point delta
+/// reoptimization. No warm state is read, so `work` (on the wire) is a
+/// pure function of the request line — byte-identical across thread
+/// counts, cache modes, and restarts. The chain's final basis is
+/// parked on the per-instance slot for later API callers (cost only).
+pub fn execute_sweep_wire(
+    req: &SolveRequest,
+    budgets: &[Resource],
+    ctx: &BudgetContext,
+) -> Vec<SolveReport> {
+    point_reports(
+        req,
+        solve_points(&req.prepared, budgets, req.alpha, ctx.meter(), WarmSource::Cold),
+    )
+}
+
+/// The degraded dispatch target for **budgeted or deadlined** sweep
+/// requests: every grid point solved as an independent crash-started
+/// single-point chain, metered on the shared request meter, with no
+/// reuse of any kind — so a `max_*` budget's wire-visible `consumed`
+/// counters can never depend on cache timing (the same rule that keeps
+/// those requests out of the solution tier). Exhaustion anywhere
+/// surfaces as the whole-request failure report, like the chained
+/// path.
+pub fn execute_sweep_pointwise(
+    req: &SolveRequest,
+    budgets: &[Resource],
+    ctx: &BudgetContext,
+) -> Vec<SolveReport> {
+    let mut points = Vec::with_capacity(budgets.len());
+    for &b in budgets {
+        match solve_points(&req.prepared, &[b], req.alpha, ctx.meter(), WarmSource::Cold) {
+            Ok(mut p) => points.append(&mut p),
+            Err(e) => return point_reports(req, Err(e)),
+        }
+    }
+    point_reports(req, Ok(points))
 }
 
 #[cfg(test)]
@@ -327,6 +418,57 @@ mod tests {
             assert!((a.lp_makespan - b.lp_makespan).abs() < 1e-9);
             assert_eq!(a.makespan, b.makespan);
             assert_eq!(a.budget_used, b.budget_used);
+        }
+    }
+
+    #[test]
+    fn wire_sweep_ignores_parked_warm_state() {
+        // the wire path must crash-start even when the slot holds a
+        // basis: its pivot counts are on the wire, so they may depend
+        // on nothing but the request line
+        let prep = std::sync::Arc::new(PreparedInstance::new(chain()));
+        let budgets: Vec<u64> = (0..=4).collect();
+        let req = SolveRequest::sweep("w", std::sync::Arc::clone(&prep), budgets.clone());
+        let ctx = BudgetContext::for_request(&req, std::time::Instant::now());
+        let first = execute_sweep_wire(&req, &budgets, &ctx);
+        // the first call parked a basis; a second wire call must still
+        // report identical per-point work
+        let second = execute_sweep_wire(&req, &budgets, &ctx);
+        let works = |rs: &[SolveReport]| rs.iter().map(|r| r.work).collect::<Vec<_>>();
+        assert_eq!(works(&first), works(&second));
+        assert!(first.iter().all(|r| r.status == Status::Solved));
+        assert!(first.iter().all(|r| r.sweep_budget.is_some()));
+        assert!(first.iter().all(|r| r.solution.is_some()));
+        assert!(first.iter().all(|r| r.sim.is_some()));
+    }
+
+    #[test]
+    fn pointwise_sweep_matches_independent_cold_solves() {
+        // satellite 2: the degraded path a budgeted sweep takes must
+        // cost exactly what per-point cold solves cost — no chaining,
+        // no warm state, nothing cache-timing-dependent
+        let prep = std::sync::Arc::new(PreparedInstance::new(chain()));
+        let budgets: Vec<u64> = (0..=4).collect();
+        let req = SolveRequest::sweep("p", std::sync::Arc::clone(&prep), budgets.clone());
+        let ctx = BudgetContext::for_request(&req, std::time::Instant::now());
+        let reports = execute_sweep_pointwise(&req, &budgets, &ctx);
+        assert_eq!(reports.len(), budgets.len());
+        for (r, &b) in reports.iter().zip(&budgets) {
+            let cold = rtt_core::lp_build::solve_min_makespan_lp_with(
+                prep.tt(),
+                b,
+                rtt_lp::Engine::Revised,
+            )
+            .unwrap();
+            assert_eq!(r.work, cold.pivots as u64, "budget {b}");
+            assert_eq!(r.sweep_budget, Some(b));
+        }
+        // and the answers agree with the chained path point for point
+        let chained = execute_sweep_wire(&req, &budgets, &ctx);
+        for (p, c) in reports.iter().zip(&chained) {
+            assert_eq!(p.makespan, c.makespan);
+            assert_eq!(p.budget_used, c.budget_used);
+            assert_eq!(p.sim.map(|s| s.simulated), c.sim.map(|s| s.simulated));
         }
     }
 }

@@ -277,17 +277,36 @@ pub fn execute_one_at(
 }
 
 /// Replays a solution-tier hit: overwrites the donor's id with the
-/// requesting id and re-runs the full Observation 1.1 certify replay
-/// against the requesting instance — a reused report is exactly as
-/// certified as a fresh one, and the recomputed `sim_makespan` is
-/// byte-identical because certification is deterministic. Runs under
-/// the same panic isolation as a live solve.
+/// requesting id, re-runs the **analytic validation** of whatever
+/// solution form the report carries, then re-runs the full Observation
+/// 1.1 certify replay against the requesting instance — a reused
+/// report is exactly as certified as a fresh one, and the recomputed
+/// `sim_makespan` is byte-identical because certification is
+/// deterministic. The analytic step is what makes donor-less entries
+/// (loaded from a `rtt-cache-v1` spill) safe to serve: a tampered or
+/// stale solution fails it here, under the same panic isolation as a
+/// live solve, and surfaces as one [`Status::Failed`] report.
 fn replay_cached(req: &SolveRequest, mut hit: SolveReport) -> SolveReport {
     hit.id = req.id.clone();
     let solver = hit.solver;
     match catch_unwind(AssertUnwindSafe(move || {
+        let arc = req.prepared.arc();
+        if let Some(sol) = &hit.solution {
+            rtt_core::validate(arc, sol)
+                .expect("cached solution failed analytic re-validation");
+        } else if let Some(nr) = &hit.noreuse {
+            rtt_core::regimes::validate_noreuse(arc, nr)
+                .expect("cached no-reuse solution failed analytic re-validation");
+        } else if let Some(s) = &hit.schedule {
+            let budget = match req.objective {
+                crate::Objective::MinMakespan { budget } => budget,
+                _ => s.peak_in_use,
+            };
+            rtt_core::verify_global_schedule(arc, budget, s)
+                .expect("cached schedule failed analytic re-validation");
+        }
         hit.sim = None;
-        crate::certify::attach(req.prepared.arc(), &mut hit, None)
+        crate::certify::attach(arc, &mut hit, None)
             .expect("an unmetered certify replay cannot exhaust");
         hit
     })) {
@@ -297,10 +316,12 @@ fn replay_cached(req: &SolveRequest, mut hit: SolveReport) -> SolveReport {
 }
 
 /// [`execute_one_at`] with an optional cross-request [`ReuseCache`]:
-/// eligible (request, solver) pairs probe the solution tier before
-/// solving and park their report after (see [`crate::reuse`] for the
-/// byte-identity contract), and sweep requests route their warm LP
-/// state through the shared warm tier instead of the per-instance slot.
+/// eligible requests — single solves *and* wire sweeps — probe the
+/// solution tier before solving and park their report vector after
+/// (see [`crate::reuse`] for the byte-identity contract). Sweeps never
+/// touch the warm-basis tier here: the wire path runs a self-contained
+/// crash-started chain ([`crate::curve::execute_sweep_wire`]) so its
+/// on-wire pivot counts cannot depend on cache state.
 pub fn execute_one_cached_at(
     registry: &Registry,
     req: &SolveRequest,
@@ -314,8 +335,11 @@ pub fn execute_one_cached_at(
         .as_ref()
         .filter(|_| policy_for(req, Dimension::QueueDepth) == ExhaustionPolicy::SoftWarn);
     let hard_overflow = if soft_overflow.is_none() { overflow } else { None };
-    // Sweeps are a whole-request service (one warm-started LP chain →
-    // one report per budget), dispatched before solver fan-out.
+    // Sweeps are a whole-request service (one LP chain → one report
+    // per budget), dispatched before solver fan-out. Budgeted or
+    // deadlined sweeps degrade to per-point cold solves and skip the
+    // cache entirely — their wire-visible `consumed` counters must
+    // describe this run's metered work, never a replay's.
     if let crate::Objective::MakespanSweep { budgets } = &req.objective {
         if deadline_expired(req, queue_wait) {
             return vec![expired_at_dequeue(req, "bicriteria", queue_wait)];
@@ -324,12 +348,37 @@ pub fn execute_one_cached_at(
         let ctx = BudgetContext::for_request(req, queued_at);
         let mut reports = if let Some(e) = hard_overflow {
             vec![crate::solver::report_exhausted(req, "bicriteria", e)]
-        } else {
+        } else if req.budget.is_some() || req.deadline.is_some() {
             match catch_unwind(AssertUnwindSafe(|| {
-                crate::curve::execute_sweep_cached(req, budgets, &ctx, reuse)
+                crate::curve::execute_sweep_pointwise(req, budgets, &ctx)
             })) {
                 Ok(reports) => reports,
                 Err(payload) => vec![panic_report(req, "bicriteria", payload)],
+            }
+        } else {
+            // solution-tier probe: a hit replays the whole cached
+            // per-point vector (each report re-validated and
+            // re-certified) instead of re-running the chain
+            let cache_key = reuse.and_then(|c| {
+                let key = crate::reuse::ReuseCache::solution_key(req, "bicriteria")?;
+                if let Some(hits) = c.lookup_solution(&key, req) {
+                    return Some(Err(hits));
+                }
+                Some(Ok(key))
+            });
+            if let Some(Err(hits)) = cache_key {
+                hits.into_iter().map(|h| replay_cached(req, h)).collect()
+            } else {
+                let reports = match catch_unwind(AssertUnwindSafe(|| {
+                    crate::curve::execute_sweep_wire(req, budgets, &ctx)
+                })) {
+                    Ok(reports) => reports,
+                    Err(payload) => vec![panic_report(req, "bicriteria", payload)],
+                };
+                if let (Some(cache), Some(Ok(key))) = (reuse, cache_key) {
+                    cache.store_solution(key, req, &reports);
+                }
+                reports
             }
         };
         let wall = started.elapsed();
@@ -378,12 +427,16 @@ pub fn execute_one_cached_at(
             // by solver determinism, see crate::reuse
             let cache_key = reuse.and_then(|c| {
                 let key = crate::reuse::ReuseCache::solution_key(req, s.name())?;
-                if let Some(hit) = c.lookup_solution(&key, req) {
-                    return Some(Err(hit));
+                if let Some(hits) = c.lookup_solution(&key, req) {
+                    return Some(Err(hits));
                 }
                 Some(Ok(key))
             });
-            if let Some(Err(hit)) = cache_key {
+            if let Some(Err(mut hits)) = cache_key {
+                // a non-sweep key maps to exactly one report (the store
+                // below writes one; persist::load enforces the arity)
+                let hit = hits.pop().expect("solution tier never stores empty vectors");
+                debug_assert!(hits.is_empty(), "non-sweep entry held multiple reports");
                 let mut report = replay_cached(req, hit);
                 report.wall = started.elapsed();
                 report.queue_wait = queue_wait;
@@ -414,7 +467,7 @@ pub fn execute_one_cached_at(
             report.wall = started.elapsed();
             report.queue_wait = queue_wait;
             if let (Some(cache), Some(Ok(key))) = (reuse, cache_key) {
-                cache.store_solution(key, req, &report);
+                cache.store_solution(key, req, std::slice::from_ref(&report));
             }
             report
         })

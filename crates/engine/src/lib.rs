@@ -20,10 +20,12 @@
 //!   independent of the thread count;
 //! * [`ReuseCache`] — opt-in cross-request reuse under the "cost,
 //!   never bytes" contract: a solution tier of whole re-certified
-//!   reports keyed by canonical fingerprint (serves the batch wire),
-//!   and a warm-basis/delta tier keyed by instance *shape* (serves
-//!   sweeps and [`solve_delta_point`]; objective-equal, never on the
-//!   batch wire — see [`reuse`]).
+//!   report vectors keyed by canonical fingerprint (serves the batch
+//!   wire, single solves and sweeps alike, and survives restarts via
+//!   the `rtt-cache-v1` spill format in [`persist`]), and a
+//!   warm-basis/delta tier keyed by instance *shape* (serves
+//!   [`solve_curve_cached`] and [`solve_delta_point`];
+//!   objective-equal, never on the batch wire — see [`reuse`]).
 //!
 //! The free functions in `rtt_core` remain the algorithmic ground
 //! truth; the trait impls here are thin adapters that certify every
@@ -61,6 +63,7 @@ pub mod budget;
 pub mod certify;
 pub mod curve;
 pub mod executor;
+pub mod persist;
 pub mod prep;
 pub mod registry;
 pub mod request;
@@ -75,11 +78,15 @@ pub use certify::{
     certify_solution, certify_solution_metered, expand_levels, expand_solution, SimCertificate,
     SIM_EVENT_GUARD,
 };
-pub use curve::{solve_curve, solve_curve_cached, solve_curve_metered, CurvePoint};
+pub use curve::{
+    execute_sweep_pointwise, execute_sweep_wire, solve_curve, solve_curve_cached,
+    solve_curve_metered, CurvePoint,
+};
 pub use executor::{
     execute_one, execute_one_at, execute_one_cached_at, run_batch, run_batch_cached,
     BatchOutcome, BatchStats,
 };
+pub use persist::{CACHE_FORMAT_TAG, PersistError};
 pub use prep::{CacheStats, LpWarmState, PrepCache, PreparedInstance};
 pub use registry::{canonical_name, Registry};
 pub use request::{Objective, SolveReport, SolveRequest, SolverSelection, Status};

@@ -22,9 +22,13 @@ pub enum Objective {
     /// The resource-time **tradeoff curve**: min-makespan at every
     /// budget of a grid, solved as one warm-started LP chain (the
     /// revised engine dual-reoptimizes each point from the previous
-    /// basis). Produces one report per budget, in grid order. Not part
-    /// of the batch NDJSON wire format — a shared warm chain would make
-    /// report bytes depend on scheduling; `rtt curve` is its front end.
+    /// basis). Produces one report per budget, in grid order. On the
+    /// batch NDJSON wire as the `budgets` request field: the executor
+    /// answers each wire sweep with a **self-contained** chain (crash
+    /// start, then per-point delta reoptimization), so its pivot
+    /// counts are a pure function of the request line and the report
+    /// bytes stay independent of scheduling and of cache state.
+    /// `rtt curve` is the interactive front end for the same service.
     MakespanSweep {
         /// The budget grid, in the order points should be solved and
         /// reported.
@@ -247,6 +251,12 @@ pub struct SolveReport {
     /// Whether this report came from an isolated solver panic
     /// ([`Status::Failed`]).
     pub panicked: bool,
+    /// For per-point reports of a [`Objective::MakespanSweep`] request,
+    /// the grid budget this point was solved at — `None` on every other
+    /// report, which keeps the non-sweep wire format byte-identical.
+    /// The batch renderer dispatches on this field to emit the
+    /// curve-point line form instead of the solver-report form.
+    pub sweep_budget: Option<Resource>,
 }
 
 impl SolveReport {
@@ -282,6 +292,7 @@ impl SolveReport {
             degraded_from: None,
             exhausted: None,
             panicked: false,
+            sweep_budget: None,
         }
     }
 }

@@ -10,19 +10,32 @@
 //! *how* an answer was computed would change bytes. The cache is
 //! therefore split into two tiers with different reuse granularity:
 //!
-//! * **Solution tier** — whole [`SolveReport`]s, keyed by
+//! * **Solution tier** — whole **report vectors**, keyed by
 //!   `(canonical instance, objective, alpha, seed, solver)`. Every
 //!   solver in the registry is a deterministic pure function of exactly
 //!   that tuple, so replaying a cached report is byte-identical to
-//!   re-running the solver — including `work` and `sim_makespan`. A hit
-//!   skips the solve but **re-runs the full Observation 1.1 certify
-//!   replay** against the requesting instance before the report leaves
-//!   the engine, so a reused result is exactly as certified as a fresh
-//!   one. Only unbudgeted, deadline-free `MinMakespan` / `MinResource`
-//!   requests are eligible: a budgeted request's wire-visible `consumed`
-//!   counters describe *this run's* metered work, which a replay does
-//!   not perform, and a deadline's expiry is wall-clock state, not
-//!   request content.
+//!   re-running the solver — including `work` and `sim_makespan`. A
+//!   single solve caches a one-report vector; a `MakespanSweep` caches
+//!   the whole per-point vector (the grid is part of the key), which is
+//!   how *wire* sweeps get cross-request reuse without touching warm
+//!   state. A hit skips the solve but **re-runs the full analytic
+//!   validation and Observation 1.1 certify replay** against the
+//!   requesting instance before the report leaves the engine, so a
+//!   reused result is exactly as certified as a fresh one. Only
+//!   unbudgeted, deadline-free requests are eligible: a budgeted
+//!   request's wire-visible `consumed` counters describe *this run's*
+//!   metered work, which a replay does not perform, and a deadline's
+//!   expiry is wall-clock state, not request content.
+//!
+//!   Since PR 8 this tier also **survives restarts**: `rtt batch
+//!   --cache-save/--cache-load` spill and reload it through the
+//!   versioned `rtt-cache-v1` format ([`crate::persist`]). A loaded
+//!   entry has no donor instance ([`CachedSolution::donor`] is `None`),
+//!   so its trust rests on the full key-string comparison (which embeds
+//!   the canonical instance serialization) **plus** the same fresh
+//!   re-validation + re-certification every hit gets at serve time — a
+//!   tampered or stale entry panics the replay and is reported as a
+//!   failed solve, never silently served.
 //!
 //! * **Warm-basis tier** — [`LpWarmState`]s (budget-row-tagged LP
 //!   template + last optimal basis), keyed by the instance's *shape*
@@ -35,9 +48,13 @@
 //!   Warm-started solves land on the **same certified objective** as
 //!   cold ones (the LP optimum is unique in value; the delta tests pin
 //!   it), but their pivot counts differ — which is why this tier serves
-//!   only the curve/sweep service and the explicit
+//!   only the [`crate::solve_curve_cached`] API and the explicit
 //!   [`solve_delta_point`] API, both *off* the batch wire, and never
-//!   the batch solver fan-out.
+//!   the batch solver fan-out. Wire sweeps (`budgets` request lines)
+//!   deliberately bypass it: they run a self-contained crash-started
+//!   chain so their on-wire pivot counts stay a pure function of the
+//!   request line (see [`crate::curve`]), and get their cross-request
+//!   reuse from the solution tier above.
 //!
 //! Eviction (deterministic LRU: least `(stamp, key)` first) and
 //! concurrent access order can change which tier entries are resident —
@@ -50,10 +67,10 @@
 //! Like [`crate::PrepCache`], both tiers store and compare **full key
 //! strings** (the canonical/shape serialization plus request
 //! parameters), not digests — and the solution tier additionally
-//! requires pointer identity of the [`PreparedInstance`], so a cached
-//! report can only ever replay against the very instance that produced
-//! it. A hash collision anywhere costs a recomputation, never a wrong
-//! answer.
+//! requires pointer identity of the [`PreparedInstance`] for entries
+//! that have one (in-process entries do; disk-loaded entries fall back
+//! to the key comparison plus serve-time re-verification). A hash
+//! collision anywhere costs a recomputation, never a wrong answer.
 
 use crate::prep::{LpWarmState, PreparedInstance};
 use crate::request::{Objective, SolveReport, SolveRequest, Status};
@@ -149,13 +166,16 @@ impl<V> Lru<V> {
     }
 }
 
-/// A solution-tier entry: the report plus the exact prepared instance
-/// that produced it (pointer-compared on hit — see the module docs on
-/// collision discipline).
+/// A solution-tier entry: the report vector (one report for a single
+/// solve, one per grid point for a sweep) plus the exact prepared
+/// instance that produced it. In-process entries carry their donor and
+/// are pointer-compared on hit (see the module docs on collision
+/// discipline); entries loaded from a `rtt-cache-v1` spill have no
+/// donor and rely on the key comparison + serve-time re-verification.
 #[derive(Debug)]
 struct CachedSolution {
-    report: SolveReport,
-    donor: Arc<PreparedInstance>,
+    reports: Vec<SolveReport>,
+    donor: Option<Arc<PreparedInstance>>,
 }
 
 /// A warm-tier entry: the donor's canonical key (to distinguish
@@ -203,8 +223,9 @@ impl ReuseCache {
     }
 
     /// The solution-tier key for `(req, solver)`, or `None` when the
-    /// request is ineligible (budgeted, deadlined, or a sweep — see the
-    /// module docs for why each is excluded).
+    /// request is ineligible (budgeted or deadlined — see the module
+    /// docs for why). Sweeps are eligible: the whole budget grid is
+    /// part of the key, so a hit replays the full per-point vector.
     pub fn solution_key(req: &SolveRequest, solver: &str) -> Option<String> {
         if req.budget.is_some() || req.deadline.is_some() {
             return None;
@@ -212,7 +233,10 @@ impl ReuseCache {
         let obj = match &req.objective {
             Objective::MinMakespan { budget } => format!("mm:{budget}"),
             Objective::MinResource { target } => format!("mr:{target}"),
-            Objective::MakespanSweep { .. } => return None,
+            Objective::MakespanSweep { budgets } => {
+                let grid: Vec<String> = budgets.iter().map(|b| b.to_string()).collect();
+                format!("sw:{}", grid.join(","))
+            }
         };
         Some(format!(
             "sol-v1|{solver}|{obj}|a={:016x}|s={}|{}",
@@ -222,24 +246,33 @@ impl ReuseCache {
         ))
     }
 
-    /// Solution-tier probe: a clone of the cached report for `key`, or
-    /// `None` (counted as hit/miss). The clone still carries the
-    /// *donor's* id and certificate — [`crate::executor`] overwrites the
-    /// id and re-runs the certify replay before the report is released.
-    pub fn lookup_solution(&self, key: &str, req: &SolveRequest) -> Option<SolveReport> {
+    /// Solution-tier probe: a clone of the cached report vector for
+    /// `key`, or `None` (counted as one hit/miss per probe). The clones
+    /// still carry the *donor's* id and certificate — [`crate::executor`]
+    /// overwrites the id and re-runs the validation + certify replay on
+    /// every report before it is released.
+    pub fn lookup_solution(&self, key: &str, req: &SolveRequest) -> Option<Vec<SolveReport>> {
         let mut tier = self.solutions.lock().expect("solution tier poisoned");
         let hit = tier
             .get_refreshed(key)
-            // pointer identity: replay only against the instance that
-            // produced the report (canonical-keyed PrepCaches make this
-            // hold for structural duplicates too)
-            .filter(|c| Arc::ptr_eq(&c.donor, &req.prepared))
-            .map(|c| c.report.clone());
+            // pointer identity when a donor exists: replay only against
+            // the instance that produced the report (canonical-keyed
+            // PrepCaches make this hold for structural duplicates too).
+            // Loaded entries have no donor; the key embeds the full
+            // canonical serialization, and the serve-time re-verification
+            // backstops it.
+            .filter(|c| {
+                c.donor
+                    .as_ref()
+                    .is_none_or(|d| Arc::ptr_eq(d, &req.prepared))
+            })
+            .map(|c| c.reports.clone());
         drop(tier);
         match &hit {
-            Some(r) => {
+            Some(rs) => {
                 self.solution_hits.fetch_add(1, Ordering::Relaxed);
-                self.pivots_saved.fetch_add(r.work, Ordering::Relaxed);
+                let saved: u64 = rs.iter().map(|r| r.work).sum();
+                self.pivots_saved.fetch_add(saved, Ordering::Relaxed);
             }
             None => {
                 self.solution_misses.fetch_add(1, Ordering::Relaxed);
@@ -248,16 +281,17 @@ impl ReuseCache {
         hit
     }
 
-    /// Parks a freshly solved report in the solution tier. Only
-    /// [`Status::Solved`] reports are worth the space; callers pass the
-    /// same `key` their probe used.
-    pub fn store_solution(&self, key: String, req: &SolveRequest, report: &SolveReport) {
-        if report.status != Status::Solved {
+    /// Parks a freshly solved report vector in the solution tier. Only
+    /// fully-[`Status::Solved`] vectors are worth the space (a sweep
+    /// with any failed point is not replayable); callers pass the same
+    /// `key` their probe used.
+    pub fn store_solution(&self, key: String, req: &SolveRequest, reports: &[SolveReport]) {
+        if reports.is_empty() || reports.iter().any(|r| r.status != Status::Solved) {
             return;
         }
         let entry = Arc::new(CachedSolution {
-            report: report.clone(),
-            donor: Arc::clone(&req.prepared),
+            reports: reports.to_vec(),
+            donor: Some(Arc::clone(&req.prepared)),
         });
         let evicted = self
             .solutions
@@ -265,6 +299,39 @@ impl ReuseCache {
             .expect("solution tier poisoned")
             .insert(key, entry);
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Installs a report vector loaded from a `rtt-cache-v1` spill
+    /// ([`crate::persist`]): donor-less, so a future hit matches on the
+    /// full key string alone and is re-verified at serve time (see the
+    /// module docs' trust rule).
+    pub fn insert_loaded(&self, key: String, reports: Vec<SolveReport>) {
+        if reports.is_empty() {
+            return;
+        }
+        let entry = Arc::new(CachedSolution {
+            reports,
+            donor: None,
+        });
+        let evicted = self
+            .solutions
+            .lock()
+            .expect("solution tier poisoned")
+            .insert(key, entry);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Every solution-tier entry as `(key, reports)`, sorted by key —
+    /// the deterministic export [`crate::persist::save`] spills.
+    pub fn export_solutions(&self) -> Vec<(String, Vec<SolveReport>)> {
+        let tier = self.solutions.lock().expect("solution tier poisoned");
+        let mut out: Vec<(String, Vec<SolveReport>)> = tier
+            .map
+            .iter()
+            .map(|(k, (v, _))| (k.clone(), v.reports.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// Takes the warm entry for `shape_key` out of the warm tier
@@ -458,8 +525,8 @@ mod tests {
         let mut tier = cache.solutions.lock().unwrap();
         for (i, _p) in preps.iter().enumerate() {
             let dummy = Arc::new(CachedSolution {
-                report: SolveReport::new("x", "bicriteria", Status::Solved, ""),
-                donor: Arc::new(PreparedInstance::new(diamond(9))),
+                reports: vec![SolveReport::new("x", "bicriteria", Status::Solved, "")],
+                donor: Some(Arc::new(PreparedInstance::new(diamond(9)))),
             });
             tier.insert(format!("k{i}"), dummy);
         }
