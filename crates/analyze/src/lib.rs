@@ -1,0 +1,39 @@
+//! # rtt-analyze — static analysis over programs, specs, and sources
+//!
+//! The bottom-layer static-analysis substrate (PR 9), three passes:
+//!
+//! * [`race`] — **summary-based static race analysis**: per-strand
+//!   access footprints ([`rtt_race::footprint`]) intersected pairwise
+//!   under the English-Hebrew may-happen-in-parallel relation, never
+//!   materializing per-location access lists. Reports exactly the
+//!   racing `(location, strand pair)` witness set of
+//!   [`rtt_race::detect_races`] (a differential property test pins the
+//!   equivalence), at summary cost instead of access cost — cf.
+//!   digest/abstract-interpretation race analyses, which motivate
+//!   cheap sound summaries in front of exact detection.
+//! * [`lint`] — the **structured diagnostic vocabulary** shared by the
+//!   `rtt lint` corpus/spec linter and the engine's admission hook:
+//!   stable `RTT0xx` codes, error/warning severities, deterministic
+//!   ordering, and both human and NDJSON renderings.
+//! * [`source_lint`] — the **determinism self-lint**: a repo-level
+//!   scan of the declared wire-path modules for byte-stability
+//!   hazards (hash-ordered collections feeding serialization,
+//!   wall-clock reads outside bench/stderr paths), turning the
+//!   "a cache may change what a run costs, never what it emits"
+//!   contract into a CI-enforced check (`tests/repo_lint.rs`).
+//!
+//! Layering: this crate sits below the engine and the CLI (it depends
+//! only on `rtt_race`), so both can share its diagnostics without a
+//! cycle — the CLI mirrors the executor's textual admission checks,
+//! the engine lints built requests, and both speak [`lint::Diagnostic`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lint;
+pub mod race;
+pub mod source_lint;
+
+pub use lint::{Diagnostic, Severity};
+pub use race::{analyze_races, RaceSummary};
+pub use source_lint::lint_workspace;

@@ -1,0 +1,250 @@
+//! The PR-9 baseline: summary-based **static** race analysis vs the
+//! retained dynamic detector, on the same programs in the same binary.
+//!
+//! `repro bench-pr9 [--out PATH] [--smoke]` drives two workload
+//! families through both engines:
+//!
+//! * the racy Figure 3 Parallel-MM at n ∈ {8, 12, 16} — n³ contending
+//!   update strands, C(n,2) racing pairs per output cell;
+//! * a dense-contention fork-join corpus
+//!   ([`rtt_race::gen::random_fork_join`], eight seeds) — staged
+//!   programs whose cells each take many racing updates.
+//!
+//! For every workload the two witness sets — [`rtt_analyze::race::witness_set`]
+//! over the static summaries, [`rtt_analyze::race::dynamic_witness_set`]
+//! over [`rtt_race::detect_races`] — are asserted **identical before any
+//! timing starts**: a speedup over a detector that finds different races
+//! would be meaningless. Only then are both engines timed
+//! (median-of-trials), so the committed `BENCH_pr9.json` numbers always
+//! describe two provably-equivalent analyses. Like every bench schema
+//! since PR 3 the document records `cores` and `trials`.
+
+use rtt_analyze::race::{analyze_races, dynamic_witness_set, witness_count, witness_set};
+use rtt_race::detect_races;
+use rtt_race::program::Prog;
+use std::time::Instant;
+
+/// One program (or program corpus) measured under both engines.
+#[derive(Debug, Clone)]
+pub struct AnalyzeWorkload {
+    /// Workload name (`parallel-mm-<n>` / `forkjoin-corpus`).
+    pub name: String,
+    /// Total strands across the workload's programs.
+    pub strands: usize,
+    /// Total concrete operations (what the dynamic detector walks).
+    pub ops: usize,
+    /// Interval-compressed race summaries the static pass reports.
+    pub summaries: usize,
+    /// `(loc, strand pair)` witnesses those summaries cover — equal to
+    /// the dynamic detector's deduplicated report count by the
+    /// pre-timing assertion.
+    pub witnesses: u64,
+    /// Median wall of the static footprint-summary analysis (ms).
+    pub static_ms: f64,
+    /// Median wall of the dynamic per-access detector (ms).
+    pub dynamic_ms: f64,
+}
+
+impl AnalyzeWorkload {
+    /// Dynamic-over-static wall ratio (higher = static wins).
+    pub fn speedup(&self) -> f64 {
+        self.dynamic_ms / self.static_ms.max(1e-9)
+    }
+}
+
+/// The full PR-9 measurement set.
+#[derive(Debug, Clone)]
+pub struct AnalyzePerfReport {
+    /// Host cores (`std::thread::available_parallelism`).
+    pub cores: usize,
+    /// Timed iterations per engine (median taken).
+    pub trials: usize,
+    /// Parallel-MM sweeps, ascending size, then the fork-join corpus.
+    pub workloads: Vec<AnalyzeWorkload>,
+}
+
+fn median_ms<T>(trials: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..trials.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn op_count(p: &Prog) -> usize {
+    match p {
+        Prog::Strand(ops) => ops.len(),
+        Prog::Seq(children) | Prog::Par(children) => children.iter().map(op_count).sum(),
+    }
+}
+
+fn measure_workload(name: String, progs: &[Prog], trials: usize) -> AnalyzeWorkload {
+    // equivalence first, timing second: every program's static witness
+    // set must equal the dynamic one before either engine is clocked
+    let mut summaries = 0usize;
+    let mut witnesses = 0u64;
+    for (i, prog) in progs.iter().enumerate() {
+        let sums = analyze_races(prog);
+        assert_eq!(
+            witness_set(&sums),
+            dynamic_witness_set(&detect_races(prog)),
+            "{name}: static and dynamic witness sets differ on program {i} — \
+             refusing to time non-equivalent analyses"
+        );
+        summaries += sums.len();
+        witnesses += witness_count(&sums);
+    }
+    let static_ms = median_ms(trials, || {
+        progs.iter().map(|p| analyze_races(p).len()).sum::<usize>()
+    });
+    let dynamic_ms = median_ms(trials, || {
+        progs.iter().map(|p| detect_races(p).len()).sum::<usize>()
+    });
+    AnalyzeWorkload {
+        name,
+        strands: progs.iter().map(Prog::strand_count).sum(),
+        ops: progs.iter().map(op_count).sum(),
+        summaries,
+        witnesses,
+        static_ms,
+        dynamic_ms,
+    }
+}
+
+/// Runs every measurement. Sizes shrink under `smoke` (CI).
+pub fn measure(trials: usize, smoke: bool) -> AnalyzePerfReport {
+    let mm_sizes: &[u64] = if smoke { &[4, 6] } else { &[8, 12, 16] };
+    let mut workloads = Vec::new();
+    for &n in mm_sizes {
+        let (prog, _layout) = rtt_race::mm::parallel_mm_racy(n);
+        workloads.push(measure_workload(
+            format!("parallel-mm-{n}"),
+            std::slice::from_ref(&prog),
+            trials,
+        ));
+    }
+    // the dense-contention corpus: eight seeded fork-join programs,
+    // analyzed back to back as one workload
+    let (seeds, stages, width, contention) = if smoke {
+        (2u64, 2usize, 4usize, 6usize)
+    } else {
+        (8u64, 4, 8, 12)
+    };
+    let corpus: Vec<Prog> = (0..seeds)
+        .map(|seed| {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(42 + seed);
+            rtt_race::gen::random_fork_join(&mut rng, stages, width, contention)
+        })
+        .collect();
+    workloads.push(measure_workload(
+        "forkjoin-corpus".to_string(),
+        &corpus,
+        trials,
+    ));
+
+    AnalyzePerfReport {
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        trials,
+        workloads,
+    }
+}
+
+impl AnalyzePerfReport {
+    /// Renders the machine-readable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"rtt-bench/analyze-v1\",\n");
+        out.push_str("  \"pr\": 9,\n");
+        out.push_str(&format!("  \"cores\": {},\n", self.cores));
+        out.push_str(&format!("  \"trials\": {},\n", self.trials));
+        out.push_str(
+            "  \"note\": \"static footprint-summary race analysis (rtt_analyze) vs the dynamic per-access detector (rtt_race) on identical programs; witness sets asserted equal in-binary before timing; see crates/bench/src/analyze_perf.rs\",\n",
+        );
+        // true by construction — measure_workload asserts it — but
+        // recorded so the document is self-describing
+        out.push_str("  \"witnesses_identical\": true,\n");
+        out.push_str("  \"workloads\": [\n");
+        for (i, w) in self.workloads.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"strands\": {}, \"ops\": {}, \"summaries\": {}, \"witnesses\": {}, \"static_ms\": {:.3}, \"dynamic_ms\": {:.3}, \"speedup\": {:.2}}}{}\n",
+                w.name,
+                w.strands,
+                w.ops,
+                w.summaries,
+                w.witnesses,
+                w.static_ms,
+                w.dynamic_ms,
+                w.speedup(),
+                if i + 1 == self.workloads.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders a human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "==== bench-pr9 (cores = {}, trials = {}) ====\n",
+            self.cores, self.trials
+        );
+        let mut t = crate::table::TextTable::new(&[
+            "workload",
+            "strands",
+            "ops",
+            "summaries",
+            "witnesses",
+            "static ms",
+            "dynamic ms",
+            "speedup",
+        ]);
+        for w in &self.workloads {
+            t.row(vec![
+                w.name.clone(),
+                w.strands.to_string(),
+                w.ops.to_string(),
+                w.summaries.to_string(),
+                w.witnesses.to_string(),
+                format!("{:.3}", w.static_ms),
+                format!("{:.3}", w.dynamic_ms),
+                format!("{:.2}x", w.speedup()),
+            ]);
+        }
+        out.push_str(&t.render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_measurement_is_consistent_and_serializes() {
+        let r = measure(1, true);
+        assert_eq!(r.workloads.len(), 3, "two MM sizes + the fork-join corpus");
+        for w in &r.workloads {
+            assert!(w.witnesses > 0, "{}: racy workloads must race", w.name);
+            assert!(
+                w.summaries as u64 <= w.witnesses,
+                "{}: summaries compress witnesses, never exceed them",
+                w.name
+            );
+        }
+        // mm-4: C(4,2) racing pairs on each of the 16 output cells
+        assert_eq!(r.workloads[0].witnesses, 6 * 16);
+        let json = r.to_json();
+        assert!(json.contains("\"witnesses_identical\": true"));
+        assert!(json.contains("\"cores\""));
+        assert!(json.contains("\"trials\""));
+        assert!(json.contains("parallel-mm-4"));
+        assert!(json.contains("forkjoin-corpus"));
+        assert!(json.ends_with("}\n"));
+        assert!(r.render().contains("bench-pr9"));
+    }
+}

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze_perf;
 pub mod batch_perf;
 pub mod curve_perf;
 pub mod experiments;

@@ -14,17 +14,20 @@
 //!   value (or a flag for switch-ness) is reported as an error rather
 //!   than silently mis-parsed.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
-/// Parsed command-line arguments.
+/// Parsed command-line arguments. Ordered maps (not hash maps) so any
+/// error or debug rendering that walks them is deterministic — the
+/// PR-9 determinism self-lint enforces this for every wire-path
+/// module, and argument errors print to a user-visible stream.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     /// Non-flag tokens, in order (the first is the subcommand).
     pub positional: Vec<String>,
     /// `--name value` pairs; a repeated flag keeps the last value.
-    pub flags: HashMap<String, String>,
+    pub flags: BTreeMap<String, String>,
     /// Bare `--name` switches.
-    pub switches: HashSet<String>,
+    pub switches: BTreeSet<String>,
 }
 
 /// Splits raw argv tokens into positionals, flags, and switches.

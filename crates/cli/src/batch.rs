@@ -186,6 +186,49 @@
 //! lines the consumption block rides under `resource_budget` (the grid
 //! point already owns the `budget` key).
 //!
+//! # Diagnostics
+//!
+//! `rtt lint <corpus.ndjson>` (and the `rtt batch --lint-first`
+//! admission pre-pass) statically checks corpora against this wire
+//! format and emits compiler-style diagnostics with stable `RTT0xx`
+//! codes. The severity contract: **error** means the line is one this
+//! module's [`build_requests`] rejects — a lint-clean corpus cannot
+//! fail admission — while **warning** means the line is admitted but
+//! declares something vacuous or degraded. The code table (source of
+//! truth: [`rtt_analyze::lint::CODES`], cross-tested against the
+//! executor's rejections):
+//!
+//! | code | severity | meaning |
+//! |---|---|---|
+//! | `RTT001` | error | malformed JSON or wrong field shape (unparseable line, missing `instance`, mistyped field) |
+//! | `RTT002` | error | dangling edge endpoint, or an arc-form edge with no duration |
+//! | `RTT003` | error | the instance graph contains a cycle |
+//! | `RTT004` | error | instance rejected by construction (empty, or not two-terminal) |
+//! | `RTT005` | error | invalid duration table (empty, first resource not 0, non-increasing resources, or non-monotone times) |
+//! | `RTT006` | error | objective conflict (`budgets` vs `budget`/`target`/`objective`, ambiguous or missing objective fields, unknown objective) |
+//! | `RTT007` | error | bad sweep grid (empty, malformed grid string, or a sweep line naming a non-bicriteria solver) |
+//! | `RTT008` | error | unknown solver name |
+//! | `RTT009` | error | bad budget spec (`on_exhaustion` without a `max_*` limit, or an unknown exhaustion policy) |
+//! | `RTT010` | error | alpha outside the open interval (0, 1) |
+//! | `RTT011` | warning | zero deadline: the request always expires at dequeue without touching a solver |
+//! | `RTT012` | warning | queue-depth limit at least the batch size: the bound can never trip |
+//! | `RTT013` | warning | family-tag mismatch: the named solver does not support this instance |
+//!
+//! Diagnostics are reported in deterministic `(line, code, message)`
+//! order, every diagnosable line in one pass (the linter does not stop
+//! at the first error the way the loader does). The human rendering is
+//! `path:line: severity[code]: message`; `--format ndjson` emits one
+//! JSON document per diagnostic:
+//!
+//! ```json
+//! {"line":3,"code":"RTT008","severity":"error","message":"unknown solver \"exat\"; available: ..."}
+//! ```
+//!
+//! Warnings additionally mirror the engine-level admission lint over
+//! *built* requests ([`rtt_engine::lint_requests`]) — the seam an
+//! embedding that skips the NDJSON front end still gets — and an
+//! agreement test pins the two sides together.
+//!
 //! `sim_makespan` is the **simulation certificate** (Observation 1.1):
 //! the engine physically expanded the solution into its update-granular
 //! reducer DAG — routed flows for the reuse-over-paths solvers,

@@ -29,10 +29,12 @@
 pub mod args;
 pub mod batch;
 pub mod json;
+pub mod lint;
 pub mod spec;
 
 pub use args::{parse_args, Args};
 pub use batch::{build_requests, report_line};
+pub use lint::{lint_corpus, lint_spec};
 pub use spec::{
     race_forkjoin_spec, race_mm_spec, DurationSpec, EdgeSpec, Form, InstanceSpec, NodeSpec,
     SpecError,

@@ -1,0 +1,499 @@
+//! `rtt lint` — the no-solve static checker over batch corpora and
+//! instance spec files.
+//!
+//! Every **error** this module emits corresponds to a rejection the
+//! executor path would produce anyway — [`crate::batch::build_requests`]
+//! fails on exactly the lines this linter flags as errors, with the
+//! same underlying message — so a lint-clean corpus cannot fail
+//! admission. Every **warning** flags a line the batch admits but
+//! answers degenerately (a zero deadline, a queue-depth bound that can
+//! never trip, a family-tag mismatch); those mirror
+//! [`rtt_engine::lint_requests`], the engine-level admission lint over
+//! built requests, and an agreement test pins the two together.
+//!
+//! Unlike `build_requests`, which stops at the first bad line, the
+//! linter keeps going: it reports **every** diagnosable line of the
+//! corpus in one pass, in deterministic `(line, code, message)` order.
+//! The `RTT0xx` code table lives in [`rtt_analyze::lint::CODES`] and is
+//! documented (with the NDJSON diagnostic shape) in the
+//! [`crate::batch`] wire docs under "Diagnostics".
+
+use crate::args::parse_budgets;
+use crate::json::Json;
+use crate::spec::{InstanceSpec, SpecError};
+use rtt_analyze::lint::{sort_diagnostics, Diagnostic};
+use rtt_core::ArcInstance;
+use rtt_engine::{Capability, Registry};
+
+/// Maps a spec/build failure to its diagnostic code: RTT001 malformed
+/// document, RTT002 dangling edge or missing arc duration, RTT003
+/// cycle, RTT004 other instance-construction rejection, RTT005 invalid
+/// duration table.
+fn spec_error_code(e: &SpecError) -> &'static str {
+    match e {
+        SpecError::BadJson(_) => "RTT001",
+        SpecError::BadEdge { .. } | SpecError::MissingArcDuration { .. } => "RTT002",
+        SpecError::BadInstance(msg) if msg.contains("contains a cycle") => "RTT003",
+        SpecError::BadInstance(_) => "RTT004",
+        SpecError::BadDuration(_) => "RTT005",
+    }
+}
+
+/// Lints a standalone instance document (the `rtt solve` file format).
+/// Only the instance-level checks apply; diagnostics carry line 1.
+pub fn lint_spec(text: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    match Json::parse(text) {
+        Err(e) => diags.push(Diagnostic::error("RTT001", 1, e.to_string())),
+        Ok(doc) => {
+            if let Err(e) = InstanceSpec::from_json(&doc).and_then(|spec| spec.build()) {
+                diags.push(Diagnostic::error(spec_error_code(&e), 1, e.to_string()));
+            }
+        }
+    }
+    diags
+}
+
+/// Lints a whole NDJSON batch corpus against `registry`. Blank lines
+/// are skipped (matching the batch loader); diagnostics carry true
+/// 1-based line numbers and come back sorted by
+/// `(line, code, message)`.
+pub fn lint_corpus(corpus: &str, registry: &Registry) -> Vec<Diagnostic> {
+    // the RTT012 vacuous-queue-depth check needs the admitted batch
+    // size: the count of non-blank lines, exactly what build_requests
+    // would enqueue
+    let batch_size = corpus.lines().filter(|l| !l.trim().is_empty()).count();
+    let mut diags = Vec::new();
+    for (idx, line) in corpus.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        lint_line(line, lineno, batch_size, registry, &mut diags);
+    }
+    sort_diagnostics(&mut diags);
+    diags
+}
+
+/// Lints one request line, pushing every applicable diagnostic. Checks
+/// are independent where the wire format allows it, so one line can
+/// carry several diagnostics; instance-dependent checks are skipped
+/// when the instance itself failed to build.
+fn lint_line(
+    line: &str,
+    lineno: usize,
+    batch_size: usize,
+    registry: &Registry,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let doc = match Json::parse(line) {
+        Ok(doc) => doc,
+        Err(e) => {
+            diags.push(Diagnostic::error("RTT001", lineno, e.to_string()));
+            return;
+        }
+    };
+    if let Some(v) = doc.get("id") {
+        if let Err(e) = v.as_str() {
+            diags.push(Diagnostic::error("RTT001", lineno, format!("id: {e}")));
+        }
+    }
+    // the instance document: structural errors split across RTT001-005
+    let arc: Option<ArcInstance> = match doc.get("instance") {
+        None => {
+            diags.push(Diagnostic::error("RTT001", lineno, "missing field `instance`"));
+            None
+        }
+        Some(instance) => match InstanceSpec::from_json(instance).and_then(|s| s.build()) {
+            Ok(arc) => Some(arc),
+            Err(e) => {
+                diags.push(Diagnostic::error(spec_error_code(&e), lineno, e.to_string()));
+                None
+            }
+        },
+    };
+    let uint_field = |diags: &mut Vec<Diagnostic>, field: &str| -> Option<u64> {
+        match doc.get(field) {
+            None => None,
+            Some(v) => match v.as_u64() {
+                Ok(u) => Some(u),
+                Err(e) => {
+                    diags.push(Diagnostic::error("RTT001", lineno, format!("{field}: {e}")));
+                    None
+                }
+            },
+        }
+    };
+    let budget = uint_field(diags, "budget");
+    let target = uint_field(diags, "target");
+    // `budgets`: array of grid points or a grid string; anything else —
+    // wrong container, non-integer points, a malformed range — is a bad
+    // sweep grid (RTT007)
+    let has_budgets = doc.get("budgets").is_some();
+    let grid: Option<Vec<u64>> = match doc.get("budgets") {
+        None => None,
+        Some(Json::Arr(items)) => {
+            match items.iter().map(Json::as_u64).collect::<Result<Vec<u64>, _>>() {
+                Ok(g) => Some(g),
+                Err(e) => {
+                    diags.push(Diagnostic::error("RTT007", lineno, format!("budgets: {e}")));
+                    None
+                }
+            }
+        }
+        Some(Json::Str(s)) => match parse_budgets(s) {
+            Ok(g) => Some(g),
+            Err(e) => {
+                diags.push(Diagnostic::error("RTT007", lineno, e));
+                None
+            }
+        },
+        Some(_) => {
+            diags.push(Diagnostic::error(
+                "RTT001",
+                lineno,
+                "budgets must be an array or a grid string",
+            ));
+            None
+        }
+    };
+    if has_budgets {
+        // sweep line: objective conflicts (RTT006), grid shape (RTT007),
+        // solver pinning (RTT007/RTT008)
+        if budget.is_some() || target.is_some() {
+            diags.push(Diagnostic::error(
+                "RTT006",
+                lineno,
+                "`budgets` conflicts with `budget`/`target`",
+            ));
+        }
+        if doc.get("objective").is_some() {
+            diags.push(Diagnostic::error(
+                "RTT006",
+                lineno,
+                "`budgets` lines take no `objective` field",
+            ));
+        }
+        if grid.as_ref().is_some_and(Vec::is_empty) {
+            diags.push(Diagnostic::error(
+                "RTT007",
+                lineno,
+                "`budgets` must name at least one grid point",
+            ));
+        }
+        if let Some(v) = doc.get("solver") {
+            match v.as_str() {
+                Err(e) => diags.push(Diagnostic::error("RTT001", lineno, format!("solver: {e}"))),
+                Ok(name) => match registry.resolve(name) {
+                    None => diags.push(unknown_solver(lineno, name, registry)),
+                    Some(s) if s.name() != "bicriteria" => {
+                        diags.push(Diagnostic::error(
+                            "RTT007",
+                            lineno,
+                            format!(
+                                "sweep lines are answered by the bicriteria pipeline, not solver {name:?}"
+                            ),
+                        ));
+                    }
+                    Some(_) => {}
+                },
+            }
+        }
+    } else {
+        // plain line: objective inference conflicts all map to RTT006
+        match doc.get("objective") {
+            Some(v) => match v.as_str() {
+                Err(e) => {
+                    diags.push(Diagnostic::error("RTT001", lineno, format!("objective: {e}")))
+                }
+                Ok("min-makespan") => {
+                    if budget.is_none() && doc.get("budget").is_none() {
+                        diags.push(Diagnostic::error(
+                            "RTT006",
+                            lineno,
+                            "objective min-makespan needs a `budget`",
+                        ));
+                    }
+                }
+                Ok("min-resource") => {
+                    if target.is_none() && doc.get("target").is_none() {
+                        diags.push(Diagnostic::error(
+                            "RTT006",
+                            lineno,
+                            "objective min-resource needs a `target`",
+                        ));
+                    }
+                }
+                Ok(other) => diags.push(Diagnostic::error(
+                    "RTT006",
+                    lineno,
+                    format!("unknown objective {other:?}"),
+                )),
+            },
+            None => match (doc.get("budget").is_some(), doc.get("target").is_some()) {
+                (true, true) => diags.push(Diagnostic::error(
+                    "RTT006",
+                    lineno,
+                    "give `objective` to disambiguate budget + target",
+                )),
+                (false, false) => diags.push(Diagnostic::error(
+                    "RTT006",
+                    lineno,
+                    "need `budget` or `target`",
+                )),
+                _ => {}
+            },
+        }
+        if let Some(v) = doc.get("solver") {
+            match v.as_str() {
+                Err(e) => diags.push(Diagnostic::error("RTT001", lineno, format!("solver: {e}"))),
+                Ok(name) => match registry.resolve(name) {
+                    None => diags.push(unknown_solver(lineno, name, registry)),
+                    Some(s) => {
+                        // family-tag mismatch: admitted, answered
+                        // `unsupported` instead of solved (RTT013).
+                        // Fixture solvers decline everything by design.
+                        if !name.starts_with("fixture-") {
+                            if let Some(a) = &arc {
+                                if let Capability::Unsupported(reason) = s.supports(a) {
+                                    diags.push(Diagnostic::warning(
+                                        "RTT013",
+                                        lineno,
+                                        format!(
+                                            "solver {:?} does not support this instance: {reason}",
+                                            name
+                                        ),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                },
+            }
+        }
+    }
+    // alpha: in (0, 1) exclusive, mistype is RTT001, range is RTT010
+    if let Some(v) = doc.get("alpha") {
+        match v.as_f64() {
+            Err(e) => diags.push(Diagnostic::error("RTT001", lineno, format!("alpha: {e}"))),
+            Ok(alpha) if !(alpha > 0.0 && alpha < 1.0) => diags.push(Diagnostic::error(
+                "RTT010",
+                lineno,
+                format!("alpha must be in (0, 1), got {alpha}"),
+            )),
+            Ok(_) => {}
+        }
+    }
+    // deadline_ms 0 is admitted but always expires at dequeue (RTT011)
+    if let Some(ms) = uint_field(diags, "deadline_ms") {
+        if ms == 0 {
+            diags.push(Diagnostic::warning(
+                "RTT011",
+                lineno,
+                "deadline_ms 0: the request always expires at dequeue",
+            ));
+        }
+    }
+    uint_field(diags, "seed");
+    // resource-budget fields: counter mistype is RTT001; a policy
+    // without a limit, or an unknown policy name, is RTT009
+    let mut any_limit = false;
+    for field in ["max_pivots", "max_merge_steps", "max_sim_events", "max_queue_depth"] {
+        let present = doc.get(field).is_some();
+        any_limit |= present && uint_field(diags, field).is_some();
+        // a mistyped limit still *declares* a limit for the orphan-policy
+        // check: build_requests fails on the type first, and we already
+        // flagged that
+        any_limit |= present;
+    }
+    if let Some(v) = doc.get("on_exhaustion") {
+        match v.as_str() {
+            Err(e) => {
+                diags.push(Diagnostic::error("RTT001", lineno, format!("on_exhaustion: {e}")))
+            }
+            Ok(name) => {
+                if let Err(e) = rtt_engine::ExhaustionPolicy::parse(name) {
+                    diags.push(Diagnostic::error("RTT009", lineno, e));
+                } else if !any_limit {
+                    diags.push(Diagnostic::error(
+                        "RTT009",
+                        lineno,
+                        "on_exhaustion requires at least one max_* limit",
+                    ));
+                }
+            }
+        }
+    }
+    // a queue-depth bound at least the batch size can never trip (RTT012)
+    if let Some(limit) = doc.get("max_queue_depth").and_then(|v| v.as_u64().ok()) {
+        if limit >= batch_size as u64 {
+            diags.push(Diagnostic::warning(
+                "RTT012",
+                lineno,
+                format!("max_queue_depth {limit} can never trip in a batch of {batch_size}"),
+            ));
+        }
+    }
+}
+
+fn unknown_solver(lineno: usize, name: &str, registry: &Registry) -> Diagnostic {
+    Diagnostic::error(
+        "RTT008",
+        lineno,
+        format!("unknown solver {name:?}; available: {}", registry.names().join(", ")),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtt_analyze::lint::{has_errors, Severity};
+
+    fn chain_line(id: &str, budget: u64) -> String {
+        format!(
+            r#"{{"id":"{id}","instance":{{"form":"node","nodes":[{{"label":"s","duration":{{"kind":"zero"}}}},{{"label":"x","duration":{{"kind":"step","tuples":[[0,10],[4,0]]}}}},{{"label":"t","duration":{{"kind":"zero"}}}}],"edges":[{{"src":0,"dst":1}},{{"src":1,"dst":2}}]}},"budget":{budget}}}"#
+        )
+    }
+
+    #[test]
+    fn clean_corpus_is_quiet() {
+        let corpus = format!("{}\n\n{}\n", chain_line("a", 4), chain_line("b", 0));
+        assert!(lint_corpus(&corpus, &Registry::standard()).is_empty());
+    }
+
+    #[test]
+    fn every_bad_line_is_reported_not_just_the_first() {
+        let corpus = format!(
+            "not json\n{}\n{}\n",
+            chain_line("ok", 4),
+            chain_line("bad", 1).replace("\"budget\":1", "\"budget\":1,\"solver\":\"exat\"")
+        );
+        let diags = lint_corpus(&corpus, &Registry::standard());
+        assert_eq!(
+            diags.iter().map(|d| (d.line, d.code)).collect::<Vec<_>>(),
+            vec![(1, "RTT001"), (3, "RTT008")]
+        );
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn instance_errors_map_to_their_codes() {
+        let registry = Registry::standard();
+        let cases: &[(&str, &str)] = &[
+            (r#"{"budget":1}"#, "RTT001"),
+            (
+                r#"{"instance":{"form":"node","nodes":[{"duration":{"kind":"zero"}}],"edges":[{"src":0,"dst":9}]},"budget":1}"#,
+                "RTT002",
+            ),
+            (
+                r#"{"instance":{"form":"arc","nodes":[{"duration":{"kind":"zero"}},{"duration":{"kind":"zero"}}],"edges":[{"src":0,"dst":1}]},"budget":1}"#,
+                "RTT002",
+            ),
+            (
+                r#"{"instance":{"form":"node","nodes":[{"duration":{"kind":"zero"}},{"duration":{"kind":"zero"}},{"duration":{"kind":"zero"}}],"edges":[{"src":0,"dst":1},{"src":1,"dst":2},{"src":2,"dst":1}]},"budget":1}"#,
+                "RTT003",
+            ),
+            (
+                r#"{"instance":{"form":"node","nodes":[],"edges":[]},"budget":1}"#,
+                "RTT004",
+            ),
+            (
+                r#"{"instance":{"form":"node","nodes":[{"duration":{"kind":"step","tuples":[[0,5],[2,9]]}}],"edges":[]},"budget":1}"#,
+                "RTT005",
+            ),
+        ];
+        for (line, code) in cases {
+            let diags = lint_corpus(line, &registry);
+            assert!(
+                diags.iter().any(|d| d.code == *code),
+                "{line} should raise {code}, got {diags:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn warnings_do_not_block_and_match_engine_wording() {
+        let registry = Registry::standard();
+        let corpus = format!(
+            "{}\n{}\n",
+            chain_line("z", 1).replace("\"budget\":1", "\"budget\":1,\"deadline_ms\":0"),
+            chain_line("q", 1).replace("\"budget\":1", "\"budget\":1,\"max_queue_depth\":50")
+        );
+        let diags = lint_corpus(&corpus, &registry);
+        assert!(!has_errors(&diags));
+        assert_eq!(
+            diags.iter().map(|d| (d.line, d.code)).collect::<Vec<_>>(),
+            vec![(1, "RTT011"), (2, "RTT012")]
+        );
+        assert!(diags.iter().all(|d| d.severity == Severity::Warning));
+        assert_eq!(diags[0].message, "deadline_ms 0: the request always expires at dequeue");
+        assert_eq!(diags[1].message, "max_queue_depth 50 can never trip in a batch of 2");
+    }
+
+    #[test]
+    fn family_mismatch_is_a_warning() {
+        // kway solver on a step-function chain: admitted, answered
+        // `unsupported` — the lint says so up front
+        let line =
+            chain_line("m", 1).replace("\"budget\":1", "\"budget\":1,\"solver\":\"kway\"");
+        let diags = lint_corpus(&line, &Registry::standard());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "RTT013");
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(diags[0].message.contains("k-way"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn sweep_conflicts_map_to_their_codes() {
+        let registry = Registry::standard();
+        let sweep = |extra: &str| {
+            chain_line("s", 0).replace("\"budget\":0", &format!("\"budgets\":[1,2]{extra}"))
+        };
+        let cases: &[(String, &str)] = &[
+            (sweep(",\"budget\":3"), "RTT006"),
+            (sweep(",\"objective\":\"min-makespan\""), "RTT006"),
+            (
+                chain_line("s", 0).replace("\"budget\":0", "\"budgets\":[]"),
+                "RTT007",
+            ),
+            (
+                chain_line("s", 0).replace("\"budget\":0", "\"budgets\":\"5:1:1\""),
+                "RTT007",
+            ),
+            (sweep(",\"solver\":\"exact\""), "RTT007"),
+            (sweep(",\"solver\":\"nope\""), "RTT008"),
+        ];
+        for (line, code) in cases {
+            let diags = lint_corpus(line, &registry);
+            assert!(
+                diags.iter().any(|d| d.code == *code),
+                "{line} should raise {code}, got {diags:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_spec_and_alpha_errors() {
+        let registry = Registry::standard();
+        let orphan = chain_line("a", 1)
+            .replace("\"budget\":1", "\"budget\":1,\"on_exhaustion\":\"degrade\"");
+        assert!(lint_corpus(&orphan, &registry).iter().any(|d| d.code == "RTT009"));
+        let typo = chain_line("b", 1).replace(
+            "\"budget\":1",
+            "\"budget\":1,\"max_pivots\":5,\"on_exhaustion\":\"explode\"",
+        );
+        assert!(lint_corpus(&typo, &registry).iter().any(|d| d.code == "RTT009"));
+        let alpha = chain_line("c", 1).replace("\"budget\":1", "\"budget\":1,\"alpha\":1.5");
+        assert!(lint_corpus(&alpha, &registry).iter().any(|d| d.code == "RTT010"));
+    }
+
+    #[test]
+    fn spec_files_lint_standalone() {
+        assert!(lint_spec(r#"{"form":"node","nodes":[],"edges":[]}"#)
+            .iter()
+            .any(|d| d.code == "RTT004"));
+        assert!(lint_spec("{").iter().any(|d| d.code == "RTT001"));
+        let clean = r#"{"form":"node","nodes":[{"duration":{"kind":"zero"}},{"duration":{"kind":"recbinary","work":8}},{"duration":{"kind":"zero"}}],"edges":[{"src":0,"dst":1},{"src":1,"dst":2}]}"#;
+        assert!(lint_spec(clean).is_empty());
+    }
+}

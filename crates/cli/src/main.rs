@@ -32,9 +32,13 @@ USAGE:
   rtt solve <instance.json> --budget B [--solver <name>] [--alpha A] [--plan]
   rtt min-resource <instance.json> --target T [--solver <name>] [--alpha A]
   rtt curve <instance.json> --budgets a:b:step|a,b,c [--alpha A] [--out PATH]
-  rtt batch <corpus.ndjson> [--threads N] [--solver all|<name>] [--out PATH]
+  rtt batch <corpus.ndjson> [--threads N] [--solver all|<name>] [--out PATH] [--lint-first]
             [--max-pivots P] [--max-sim-events E] [--on-exhaustion hard-reject|degrade|soft-warn]
             [--reuse-cache] [--cache-capacity N] [--cache-save PATH] [--cache-load PATH]
+  rtt lint <corpus.ndjson|instance.json> [--format human|ndjson]
+  rtt analyze race --kind race-mm [--n N] [--engine static|dynamic|both]
+  rtt analyze race --kind race-forkjoin [--seed S] [--stages K] [--width W] [--contention C]
+                   [--engine static|dynamic|both]
   rtt solvers
   rtt regimes <instance.json> --budget B
   rtt dot <instance.json>
@@ -73,7 +77,25 @@ a line names them.
 The race-* kinds derive instances from actual racy programs: `race-mm`
 is the Figure 3 Parallel-MM with the k-loop parallelized (n updates
 race on every output cell), `race-forkjoin` a seeded random fork-join
-program. Both flow through solve/batch/curve unchanged.";
+program. Both flow through solve/batch/curve unchanged.
+
+`rtt lint` is the no-solve static checker: it reports every
+diagnosable line of a corpus (or a standalone instance file) as
+compiler-style RTT0xx diagnostics — errors are exactly the lines
+`rtt batch` would reject, warnings are admitted-but-vacuous fields —
+and exits nonzero iff an error was found (see the rtt_cli::batch docs
+under \"Diagnostics\" for the code table and the NDJSON shape).
+`rtt batch --lint-first` runs the same checker as an admission
+pre-pass: diagnostics go to stderr and an error aborts before any
+request is enqueued, leaving stdout untouched.
+
+`rtt analyze race` runs the static race analyzer on a generated racy
+program: per-strand access footprints intersected under the
+English-Hebrew may-happen-in-parallel relation, reporting
+interval-compressed racing summaries without materializing
+per-location access lists. `--engine dynamic` runs the retained
+dynamic detector instead; `--engine both` runs the two and asserts
+their witness sets identical before printing.";
 
 fn load(path: &str) -> Result<ArcInstance, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -334,6 +356,24 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
         registry.register(Box::new(rtt_engine::AlwaysExhaustSolver));
     }
     let registry = registry;
+    // --lint-first: the rtt lint pre-pass as an admission gate —
+    // diagnostics to stderr (stdout stays the byte-stable wire), any
+    // error aborts before a single request is enqueued
+    if args.switch("lint-first") {
+        let diags = rtt_cli::lint::lint_corpus(&corpus, &registry);
+        for d in &diags {
+            eprintln!("{}", d.human(path));
+        }
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity == rtt_analyze::lint::Severity::Error)
+            .count();
+        if errors > 0 {
+            return Err(format!(
+                "{path}: --lint-first found {errors} error(s); no requests admitted"
+            ));
+        }
+    }
     // batch-wide budget defaults; a per-line budget overrides them
     let default_budget = {
         let limits = rtt_engine::BudgetLimits {
@@ -459,6 +499,173 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `rtt lint`: the no-solve static checker over a batch corpus
+/// (`.ndjson`) or a standalone instance document (anything else).
+/// Diagnostics go to stdout in deterministic `(line, code, message)`
+/// order; the summary goes to stderr; the exit code is nonzero iff an
+/// error-severity diagnostic was found.
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("missing lint target (corpus.ndjson or instance.json)")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let format: String = args.flag("format")?.unwrap_or_else(|| "human".into());
+    if !matches!(format.as_str(), "human" | "ndjson") {
+        return Err(format!("unknown --format {format}; available: human, ndjson"));
+    }
+    // same registry the batch admission uses, fixtures included, so the
+    // unknown-solver check (RTT008) agrees with what batch would accept
+    let mut registry = Registry::standard();
+    if std::env::var("RTT_FAULT_SOLVERS").as_deref() == Ok("1") {
+        registry.register(Box::new(rtt_engine::AlwaysPanicSolver));
+        registry.register(Box::new(rtt_engine::AlwaysExhaustSolver));
+    }
+    let diags = if path.ends_with(".ndjson") {
+        rtt_cli::lint::lint_corpus(&text, &registry)
+    } else {
+        rtt_cli::lint::lint_spec(&text)
+    };
+    let mut rendered = String::new();
+    for d in &diags {
+        match format.as_str() {
+            "ndjson" => rendered.push_str(&d.ndjson()),
+            _ => rendered.push_str(&d.human(path)),
+        }
+        rendered.push('\n');
+    }
+    print!("{rendered}");
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == rtt_analyze::lint::Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    eprintln!("lint: {path}: {errors} error(s), {warnings} warning(s)");
+    if errors > 0 {
+        return Err(format!("{path}: lint found {errors} error(s)"));
+    }
+    Ok(())
+}
+
+/// `rtt analyze race`: the static race analyzer over a generated racy
+/// program — footprint summaries intersected under the English-Hebrew
+/// order, one NDJSON line per interval-compressed racing summary.
+/// `--engine dynamic` runs the retained dynamic detector instead (one
+/// line per deduplicated witness); `--engine both` runs the two,
+/// asserts the witness sets identical, and prints the static
+/// summaries. Timing goes to stderr.
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    match args.positional.get(1).map(String::as_str) {
+        Some("race") => {}
+        other => {
+            return Err(format!(
+                "unknown analyze pass {}; available: race",
+                other.unwrap_or("(none)")
+            ))
+        }
+    }
+    let kind: String = args.require("kind")?;
+    let prog = match kind.as_str() {
+        "race-mm" => {
+            let n: u64 = args.flag("n")?.unwrap_or(4);
+            if n == 0 {
+                return Err("--n must be ≥ 1".into());
+            }
+            rtt_race::mm::parallel_mm_racy(n).0
+        }
+        "race-forkjoin" => {
+            let seed: u64 = args.flag("seed")?.unwrap_or(42);
+            let stages: usize = args.flag("stages")?.unwrap_or(3);
+            let width: usize = args.flag("width")?.unwrap_or(4);
+            let contention: usize = args.flag("contention")?.unwrap_or(8);
+            if stages == 0 || width == 0 || contention == 0 {
+                return Err("--stages, --width, and --contention must be ≥ 1".into());
+            }
+            let mut rng = StdRng::seed_from_u64(seed);
+            rtt_race::gen::random_fork_join(&mut rng, stages, width, contention)
+        }
+        other => {
+            return Err(format!(
+                "unknown kind {other}; available: race-mm, race-forkjoin"
+            ))
+        }
+    };
+    let engine: String = args.flag("engine")?.unwrap_or_else(|| "static".into());
+    let print_static = |sums: &[rtt_analyze::race::RaceSummary]| {
+        let mut rendered = String::new();
+        for s in sums {
+            rendered.push_str(&format!(
+                "{{\"lo\":{},\"hi\":{},\"a\":{},\"b\":{},\"write_write\":{}}}\n",
+                s.lo, s.hi, s.a, s.b, s.write_write
+            ));
+        }
+        print!("{rendered}");
+    };
+    match engine.as_str() {
+        "static" => {
+            let started = Instant::now();
+            let sums = rtt_analyze::race::analyze_races(&prog);
+            let wall = started.elapsed();
+            print_static(&sums);
+            eprintln!(
+                "analyze race (static): {} summaries covering {} witnesses in {:.2} ms",
+                sums.len(),
+                rtt_analyze::race::witness_count(&sums),
+                wall.as_secs_f64() * 1e3
+            );
+        }
+        "dynamic" => {
+            let started = Instant::now();
+            let races = rtt_race::detect_races(&prog);
+            let wall = started.elapsed();
+            let witnesses = rtt_analyze::race::dynamic_witness_set(&races);
+            let mut rendered = String::new();
+            for (loc, a, b, ww) in &witnesses {
+                rendered.push_str(&format!(
+                    "{{\"loc\":{loc},\"a\":{a},\"b\":{b},\"write_write\":{ww}}}\n"
+                ));
+            }
+            print!("{rendered}");
+            eprintln!(
+                "analyze race (dynamic): {} witnesses in {:.2} ms",
+                witnesses.len(),
+                wall.as_secs_f64() * 1e3
+            );
+        }
+        "both" => {
+            let started = Instant::now();
+            let sums = rtt_analyze::race::analyze_races(&prog);
+            let static_wall = started.elapsed();
+            let started = Instant::now();
+            let races = rtt_race::detect_races(&prog);
+            let dynamic_wall = started.elapsed();
+            let static_w = rtt_analyze::race::witness_set(&sums);
+            let dynamic_w = rtt_analyze::race::dynamic_witness_set(&races);
+            if static_w != dynamic_w {
+                return Err(format!(
+                    "static/dynamic witness sets differ: {} static vs {} dynamic — this is a bug",
+                    static_w.len(),
+                    dynamic_w.len()
+                ));
+            }
+            print_static(&sums);
+            eprintln!(
+                "analyze race (both): witness sets identical ({} witnesses); \
+                 static {:.2} ms, dynamic {:.2} ms",
+                static_w.len(),
+                static_wall.as_secs_f64() * 1e3,
+                dynamic_wall.as_secs_f64() * 1e3
+            );
+        }
+        other => {
+            return Err(format!(
+                "unknown --engine {other}; available: static, dynamic, both"
+            ))
+        }
+    }
+    Ok(())
+}
+
 fn cmd_solvers() -> Result<(), String> {
     let registry = Registry::standard();
     // name + certified-output columns: which solution object each
@@ -518,6 +725,8 @@ fn run() -> Result<(), String> {
         Some("min-resource") => cmd_min_resource(&args),
         Some("curve") => cmd_curve(&args),
         Some("batch") => cmd_batch(&args),
+        Some("lint") => cmd_lint(&args),
+        Some("analyze") => cmd_analyze(&args),
         Some("solvers") => cmd_solvers(),
         Some("regimes") => cmd_regimes(&args),
         Some("dot") => cmd_dot(&args),

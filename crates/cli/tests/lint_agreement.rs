@@ -1,0 +1,133 @@
+//! PR-9 lint/executor agreement tests: the severity contract that
+//! makes `rtt lint` trustworthy as an admission pre-pass.
+//!
+//! * every line the batch loader rejects carries an **error**
+//!   diagnostic, and every error-diagnosed line is rejected — so a
+//!   lint-clean corpus cannot fail admission;
+//! * lint-clean committed corpora produce zero diagnostics and fully
+//!   admit;
+//! * every `RTT0xx` code in the registered table is exercised by the
+//!   committed bad corpus, and its golden matches the linter's NDJSON
+//!   output byte for byte;
+//! * on admitted lines, the CLI linter's warnings agree with the
+//!   engine-level admission lint over the *built* requests
+//!   ([`rtt_engine::lint_requests`]) — the two seams cannot drift.
+
+use rtt_analyze::lint::{Severity, CODES};
+use rtt_cli::lint::lint_corpus;
+use rtt_cli::build_requests;
+use rtt_engine::{lint_requests, PrepCache, Registry};
+
+fn data(name: &str) -> String {
+    let path = format!("{}/tests/data/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+fn fixture_registry() -> Registry {
+    // the registry corpus_faults runs against: standard + the
+    // name-addressed fault-injection fixtures
+    let mut registry = Registry::standard();
+    registry.register(Box::new(rtt_engine::AlwaysPanicSolver));
+    registry.register(Box::new(rtt_engine::AlwaysExhaustSolver));
+    registry
+}
+
+#[test]
+fn error_diagnostics_match_loader_rejections_line_by_line() {
+    let corpus = data("corpus_bad.ndjson");
+    let registry = Registry::standard();
+    for (idx, line) in corpus.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let diags = lint_corpus(line, &registry);
+        let lint_rejects = diags.iter().any(|d| d.severity == Severity::Error);
+        let cache = PrepCache::new();
+        let loader_rejects = build_requests(line, &cache, None, &registry).is_err();
+        assert_eq!(
+            lint_rejects,
+            loader_rejects,
+            "line {}: lint errors={:?} but loader {}",
+            idx + 1,
+            diags,
+            if loader_rejects { "rejects" } else { "admits" }
+        );
+    }
+}
+
+#[test]
+fn clean_corpora_are_diagnostic_free_and_fully_admit() {
+    let registry = Registry::standard();
+    for name in ["corpus_smoke.ndjson", "corpus_sweep.ndjson"] {
+        let corpus = data(name);
+        assert!(
+            lint_corpus(&corpus, &registry).is_empty(),
+            "{name} must lint clean"
+        );
+        let cache = PrepCache::new();
+        build_requests(&corpus, &cache, None, &registry)
+            .unwrap_or_else(|e| panic!("{name} must admit: {e}"));
+    }
+    // the fault corpus names fixture solvers, so it lints (and loads)
+    // against the fixture registry
+    let registry = fixture_registry();
+    let corpus = data("corpus_faults.ndjson");
+    assert!(
+        lint_corpus(&corpus, &registry).is_empty(),
+        "corpus_faults.ndjson must lint clean"
+    );
+    let cache = PrepCache::new();
+    build_requests(&corpus, &cache, None, &registry).expect("corpus_faults must admit");
+}
+
+#[test]
+fn bad_corpus_exercises_every_registered_code_and_matches_its_golden() {
+    let corpus = data("corpus_bad.ndjson");
+    let diags = lint_corpus(&corpus, &Registry::standard());
+    for (code, severity, _) in CODES {
+        let hits: Vec<_> = diags.iter().filter(|d| d.code == *code).collect();
+        assert!(!hits.is_empty(), "{code} is never exercised by corpus_bad");
+        assert!(
+            hits.iter().all(|d| d.severity == *severity),
+            "{code} severity drifted from the registered table"
+        );
+    }
+    let rendered: String = diags.iter().map(|d| d.ndjson() + "\n").collect();
+    assert_eq!(
+        rendered,
+        data("corpus_bad.golden.ndjson"),
+        "lint --format ndjson output drifted from the committed golden"
+    );
+}
+
+#[test]
+fn warnings_agree_with_the_engine_admission_lint() {
+    // keep only the admitted lines of the bad corpus; on that filtered
+    // corpus the CLI linter's findings (all warnings) must agree with
+    // the engine's request-level admission lint — code, line, and
+    // message
+    let registry = Registry::standard();
+    let admitted: Vec<String> = data("corpus_bad.ndjson")
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter(|l| {
+            lint_corpus(l, &registry)
+                .iter()
+                .all(|d| d.severity != Severity::Error)
+        })
+        .map(str::to_string)
+        .collect();
+    assert!(admitted.len() >= 3, "bad corpus should keep its warning lines");
+    let filtered = admitted.join("\n");
+    let cli_diags = lint_corpus(&filtered, &registry);
+    assert!(!cli_diags.is_empty());
+    let cache = PrepCache::new();
+    let requests = build_requests(&filtered, &cache, None, &registry).expect("admitted lines");
+    let engine_diags = lint_requests(&registry, &requests);
+    let key = |d: &rtt_analyze::lint::Diagnostic| (d.line, d.code, d.message.clone());
+    assert_eq!(
+        cli_diags.iter().map(key).collect::<Vec<_>>(),
+        engine_diags.iter().map(key).collect::<Vec<_>>(),
+        "CLI lint warnings and engine admission lint drifted apart"
+    );
+}

@@ -59,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod budget;
 pub mod certify;
 pub mod curve;
@@ -70,6 +71,7 @@ pub mod request;
 pub mod reuse;
 pub mod solver;
 
+pub use admission::lint_requests;
 pub use budget::{
     BudgetContext, BudgetLimits, BudgetPolicies, BudgetReport, BudgetSpec, ExhaustionPolicy,
 };

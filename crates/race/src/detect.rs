@@ -1,7 +1,7 @@
 //! Determinacy-race detection on fork-join programs.
 
 use crate::program::{flatten, Loc, Prog};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A reported determinacy race.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,8 +33,10 @@ enum Kind {
 /// (the severe kind) when both kinds occur.
 pub fn detect_races(prog: &Prog) -> Vec<Race> {
     let f = flatten(prog);
-    // location -> [(strand, op idx, kind)]
-    let mut accesses: HashMap<Loc, Vec<(usize, usize, Kind)>> = HashMap::new();
+    // location -> [(strand, op idx, kind)]; ordered map so every
+    // downstream iteration — and hence the report order — is a pure
+    // function of the program, never of hasher state
+    let mut accesses: BTreeMap<Loc, Vec<(usize, usize, Kind)>> = BTreeMap::new();
     for (sid, ops) in f.strands.iter().enumerate() {
         for (oid, op) in ops.iter().enumerate() {
             for l in op.reads() {
@@ -45,11 +47,8 @@ pub fn detect_races(prog: &Prog) -> Vec<Race> {
             }
         }
     }
-    let mut witnesses: HashMap<(Loc, usize, usize), Race> = HashMap::new();
-    let mut locs: Vec<Loc> = accesses.keys().copied().collect();
-    locs.sort_unstable();
-    for loc in locs {
-        let list = &accesses[&loc];
+    let mut witnesses: BTreeMap<(Loc, usize, usize), Race> = BTreeMap::new();
+    for (&loc, list) in &accesses {
         for i in 0..list.len() {
             for j in (i + 1)..list.len() {
                 let (sa, oa, ka) = list[i];
@@ -181,5 +180,29 @@ mod tests {
         let p = Prog::Par((0..n).map(|_| Prog::update(0, Some(0), vec![])).collect());
         let races = detect_races(&p);
         assert_eq!(races.len(), n * (n - 1) / 2);
+    }
+
+    /// PR-9 satellite: the report order is canonical — strictly
+    /// increasing `(loc, a, b)` — and identical across repeated runs
+    /// (witness accumulation is an ordered map, not a hash map, so no
+    /// hasher state can leak into the output).
+    #[test]
+    fn report_order_is_canonical_and_repeatable() {
+        let p = Prog::Par(vec![
+            Prog::Strand(vec![Op::Write(3), Op::Write(1), Op::Read(2)]),
+            Prog::Strand(vec![Op::Write(2), Op::Read(1), Op::Write(3)]),
+            Prog::update(1, Some(3), vec![2]),
+        ]);
+        let races = detect_races(&p);
+        assert!(!races.is_empty());
+        assert!(
+            races
+                .windows(2)
+                .all(|w| (w[0].loc, w[0].a, w[0].b) < (w[1].loc, w[1].a, w[1].b)),
+            "report must be strictly sorted by (loc, a, b): {races:?}"
+        );
+        for _ in 0..5 {
+            assert_eq!(detect_races(&p), races);
+        }
     }
 }

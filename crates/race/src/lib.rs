@@ -17,6 +17,10 @@
 //! * [`extract`] — builds the race DAG `D(P)` of §1 from a program:
 //!   nodes are memory locations, one arc per update from the location
 //!   whose value feeds the update, so `w_x = d_in(x)`;
+//! * [`footprint`] — per-strand access summaries (sorted,
+//!   interval-compressed location runs with read/write masks): the
+//!   compact program view the `rtt_analyze` static race analyzer
+//!   intersects under the EH labels without materializing accesses;
 //! * [`mm`] — the Parallel-MM programs of Figure 3 (safe `k`-serial and
 //!   racy `k`-parallel variants);
 //! * [`gen`] — seeded random fork-join program generators, so race
@@ -31,6 +35,7 @@
 
 pub mod detect;
 pub mod extract;
+pub mod footprint;
 pub mod gen;
 pub mod interleave;
 pub mod mm;
@@ -38,4 +43,5 @@ pub mod program;
 
 pub use detect::{detect_races, has_race, Race};
 pub use extract::extract_race_dag;
+pub use footprint::{footprints, FootprintRun, StrandFootprint};
 pub use program::{Loc, Op, Prog};

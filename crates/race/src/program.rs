@@ -142,6 +142,24 @@ pub fn flatten(prog: &Prog) -> Flattened {
     }
 }
 
+/// The EH labels alone, **without** materializing per-strand op
+/// vectors. [`flatten`] clones every operation into its `strands`
+/// table; callers that only need the may-happen-in-parallel relation
+/// (the static analyzer's footprint pass walks the tree itself) get
+/// the labels here at O(strands) extra space instead of O(ops).
+pub fn labels(prog: &Prog) -> EhLabels {
+    let n = prog.strand_count();
+    let mut english = vec![0u32; n];
+    let mut hebrew = vec![0u32; n];
+    let mut e_next = 0u32;
+    let mut h_next = 0u32;
+    let mut idx = 0usize;
+    label_english(prog, &mut english, &mut e_next, &mut idx);
+    let mut idx = 0usize;
+    label_hebrew(prog, &mut hebrew, &mut h_next, &mut idx);
+    EhLabels { english, hebrew }
+}
+
 fn collect_strands(prog: &Prog, out: &mut Vec<Vec<Op>>) {
     match prog {
         Prog::Strand(ops) => out.push(ops.clone()),
@@ -303,6 +321,19 @@ mod tests {
         assert_eq!(r, vec![1, 2, 3]);
         assert_eq!(Op::Read(5).reads(), vec![5]);
         assert_eq!(Op::Write(5).writes(), Some(5));
+    }
+
+    #[test]
+    fn labels_only_matches_flatten() {
+        let p = Prog::Seq(vec![
+            strand(0),
+            Prog::Par(vec![strand(1), Prog::Seq(vec![strand(2), strand(3)])]),
+            Prog::Par(vec![strand(4), strand(5)]),
+        ]);
+        let f = flatten(&p);
+        let l = labels(&p);
+        assert_eq!(f.labels.english, l.english);
+        assert_eq!(f.labels.hebrew, l.hebrew);
     }
 
     #[test]

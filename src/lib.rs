@@ -97,6 +97,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use rtt_analyze as analyze;
 pub use rtt_core as core;
 pub use rtt_dag as dag;
 pub use rtt_engine as engine;

@@ -1,0 +1,25 @@
+//! The PR-9 determinism self-lint, CI-enforced: every wire-path module
+//! of the workspace must be free of byte-stability hazards —
+//! hash-ordered collections feeding serialization, wall-clock reads
+//! outside the allow-listed stderr paths. The rule set and the curated
+//! wire-path file list live in `rtt_analyze::source_lint`; a finding
+//! here names the file, line, rule, and offending snippet.
+
+use resource_time_tradeoff::analyze::lint_workspace;
+use std::path::Path;
+
+#[test]
+fn wire_path_sources_are_hazard_free() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = lint_workspace(root);
+    assert!(
+        findings.is_empty(),
+        "determinism self-lint found {} hazard(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
