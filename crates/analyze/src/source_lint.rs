@@ -14,6 +14,13 @@
 //!   only wire-path file allowed to read the clock is the CLI
 //!   entrypoint, which routes timing exclusively to stderr
 //!   ([`WALL_CLOCK_ALLOWED`] documents the reason per file).
+//! * **unordered parallel reductions** (unscoped `thread::spawn`
+//!   joins, nondeterministic channel drains like `try_iter`): results
+//!   combined in arrival order can leak scheduling onto the wire. The
+//!   wire-reachable parallel paths must go through `rtt_par`'s
+//!   fixed-chunk map with ordered reduction (scoped workers, results
+//!   scattered back to chunk order) — which is why `crates/par` itself
+//!   is on the wire path and scanned by this rule.
 //!
 //! The scan strips comments first (doc prose may *mention* `HashMap`),
 //! then matches tokens. `tests/repo_lint.rs` runs [`lint_workspace`]
@@ -37,13 +44,17 @@ pub const WIRE_PATH_FILES: &[&str] = &[
     "crates/cli/src/main.rs",
     "crates/cli/src/spec.rs",
     "crates/core/src/fingerprint.rs",
+    "crates/core/src/sp_dp.rs",
     "crates/engine/src/admission.rs",
     "crates/engine/src/persist.rs",
     "crates/engine/src/registry.rs",
     "crates/engine/src/request.rs",
+    "crates/lp/src/revised.rs",
+    "crates/par/src/lib.rs",
     "crates/race/src/detect.rs",
     "crates/race/src/footprint.rs",
     "crates/race/src/program.rs",
+    "crates/sim/src/model.rs",
 ];
 
 /// Wire-path directories (every `.rs` file under them is scanned).
@@ -64,8 +75,8 @@ pub struct SourceFinding {
     pub file: String,
     /// 1-based line of the offending token (0 for file-level findings).
     pub line: usize,
-    /// Which rule fired: `hash-ordered-collection`, `wall-clock`, or
-    /// `missing-wire-path-file`.
+    /// Which rule fired: `hash-ordered-collection`, `wall-clock`,
+    /// `unordered-parallel-reduction`, or `missing-wire-path-file`.
     pub rule: &'static str,
     /// The offending source line, trimmed (or a note for file-level
     /// findings).
@@ -95,6 +106,13 @@ pub fn check_source(relpath: &str, text: &str) -> Vec<SourceFinding> {
         ["Instant", "::now"].concat(),
         ["System", "Time"].concat(),
     ];
+    // unordered parallel idioms: a free-threaded spawn joins in
+    // arrival order, and a channel's try-drain observes scheduling.
+    // Scoped workers reduced in chunk order (rtt_par) don't use either.
+    let unordered_needles = [
+        ["thread", "::spawn"].concat(),
+        ["try_", "iter()"].concat(),
+    ];
     let clock_allowed = WALL_CLOCK_ALLOWED.iter().any(|(f, _)| *f == relpath);
     let stripped = strip_comments(text);
     let mut findings = Vec::new();
@@ -113,6 +131,14 @@ pub fn check_source(relpath: &str, text: &str) -> Vec<SourceFinding> {
                 file: relpath.to_string(),
                 line: i + 1,
                 rule: "wall-clock",
+                snippet: orig.clone(),
+            });
+        }
+        if unordered_needles.iter().any(|n| line.contains(n.as_str())) {
+            findings.push(SourceFinding {
+                file: relpath.to_string(),
+                line: i + 1,
+                rule: "unordered-parallel-reduction",
                 snippet: orig,
             });
         }
@@ -357,5 +383,55 @@ mod tests {
     fn the_declared_wire_path_set_names_this_crate() {
         assert!(WIRE_PATH_DIRS.contains(&"crates/analyze/src"));
         assert!(WIRE_PATH_FILES.iter().any(|f| f.ends_with("batch.rs")));
+    }
+
+    fn thread_spawn_token() -> String {
+        ["thread", "::spawn"].concat()
+    }
+
+    fn try_iter_token() -> String {
+        ["try_", "iter()"].concat()
+    }
+
+    #[test]
+    fn unscoped_spawn_is_an_unordered_reduction_finding() {
+        let src = format!(
+            "fn f() {{\n    let h = std::{}(|| 1);\n    let _ = h.join();\n}}\n",
+            thread_spawn_token()
+        );
+        let f = check_source("x.rs", &src);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].line, f[0].rule), (2, "unordered-parallel-reduction"));
+    }
+
+    #[test]
+    fn channel_try_drain_is_an_unordered_reduction_finding() {
+        let src = format!(
+            "fn f(rx: &std::sync::mpsc::Receiver<u32>) -> u32 {{\n    rx.{}.sum()\n}}\n",
+            try_iter_token()
+        );
+        let f = check_source("x.rs", &src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "unordered-parallel-reduction");
+    }
+
+    #[test]
+    fn scoped_workers_are_not_findings() {
+        // the rtt_par idiom: scoped spawn, results scattered to chunk
+        // order — `s.spawn` is not the unscoped free-threaded form
+        let src = "fn f() { crossbeam::thread::scope(|s| { s.spawn(|| 1); }); }\n";
+        assert!(check_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn the_wire_path_set_names_the_parallel_paths() {
+        for f in [
+            "crates/par/src/lib.rs",
+            "crates/lp/src/revised.rs",
+            "crates/core/src/sp_dp.rs",
+            "crates/sim/src/model.rs",
+        ] {
+            assert!(WIRE_PATH_FILES.contains(&f), "{f} must be wire-path");
+        }
     }
 }

@@ -14,6 +14,7 @@
 //! repro bench-pr7 [--out PATH] [--smoke]   # cross-request reuse cache + delta solving → BENCH_pr7.json
 //! repro bench-pr8 [--out PATH] [--smoke]   # wire-reachable sweeps + persistent solution cache → BENCH_pr8.json
 //! repro bench-pr9 [--out PATH] [--smoke]   # static vs dynamic race analysis → BENCH_pr9.json
+//! repro bench-pr10 [--out PATH] [--smoke]  # deterministic intra-solve parallelism → BENCH_pr10.json
 //! ```
 
 use rtt_bench::experiments as exp;
@@ -125,6 +126,14 @@ fn run_bench_pr9(args: &[String], trials: usize) {
     write_bench(&out_path, &report.render(), &report.to_json());
 }
 
+/// Runs the PR-10 intra-solve-parallelism baseline and writes the JSON
+/// document.
+fn run_bench_pr10(args: &[String], trials: usize) {
+    let (out_path, smoke) = bench_flags("bench-pr10", "BENCH_pr10.json", args);
+    let report = rtt_bench::par_perf::measure(trials, smoke);
+    write_bench(&out_path, &report.render(), &report.to_json());
+}
+
 /// Runs the PR-3 revised-simplex/warm-sweep baseline and writes the
 /// JSON document.
 fn run_bench_pr3(args: &[String], trials: usize) {
@@ -137,7 +146,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro [all|table1|table2|table3|fig1|fig2|fig3|fig45|fig67|fig89|fig1011|fig1214|fig1516|fig1718|spdp|lp|regimes|alpha|bench-pr1|bench-pr2|bench-pr3|bench-pr4|bench-pr5|bench-pr7|bench-pr8|bench-pr9] ..."
+            "usage: repro [all|table1|table2|table3|fig1|fig2|fig3|fig45|fig67|fig89|fig1011|fig1214|fig1516|fig1718|spdp|lp|regimes|alpha|bench-pr1|bench-pr2|bench-pr3|bench-pr4|bench-pr5|bench-pr7|bench-pr8|bench-pr9|bench-pr10] ..."
         );
         std::process::exit(2);
     }
@@ -177,6 +186,10 @@ fn main() {
     }
     if args[0] == "bench-pr9" {
         run_bench_pr9(&args[1..], trials);
+        return;
+    }
+    if args[0] == "bench-pr10" {
+        run_bench_pr10(&args[1..], trials);
         return;
     }
     if args

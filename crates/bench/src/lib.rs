@@ -12,6 +12,7 @@ pub mod analyze_perf;
 pub mod batch_perf;
 pub mod curve_perf;
 pub mod experiments;
+pub mod par_perf;
 pub mod perf;
 pub mod race_perf;
 pub mod reuse_perf;

@@ -29,7 +29,7 @@ fn committed_bench_documents_carry_cores_and_trials() {
         }
     }
     assert!(
-        found >= 8,
-        "expected the committed BENCH_pr1..pr5 and BENCH_pr7..pr9 documents, found {found}"
+        found >= 9,
+        "expected the committed BENCH_pr1..pr5 and BENCH_pr7..pr10 documents, found {found}"
     );
 }

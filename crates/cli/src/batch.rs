@@ -77,6 +77,15 @@
 //! hits, warm-basis hits, delta solves, evictions) go to **stderr
 //! only**, never into the NDJSON stream.
 //!
+//! Thread counts obey the same invariant, in both directions. The
+//! inter-request worker count (`--threads`) and the intra-solve thread
+//! count (`--solve-threads` / `RTT_SOLVE_THREADS`, driving `rtt_par`'s
+//! deterministic parallel pricing, subtree-parallel SP-DP, and sharded
+//! certification replay) may change what a batch *costs*, never what
+//! it *emits*: stdout is byte-identical at every combination of the
+//! two. Neither count is a request-line field, and neither appears
+//! anywhere in a report line — worker telemetry prints to stderr only.
+//!
 //! ## Persistence: `--cache-save` / `--cache-load`
 //!
 //! `rtt batch --cache-save PATH` spills the solution tier after the
@@ -372,6 +381,7 @@ fn parse_request_line(
             deadline,
             seed,
             budget: budget_spec,
+            intra_threads: None,
         });
     }
     let objective = match doc.get("objective") {
@@ -436,6 +446,9 @@ fn parse_request_line(
         deadline,
         seed,
         budget: budget_spec,
+        // intra-solve threading is a CLI/environment knob, never a wire
+        // field: request lines cannot carry it (see the module docs)
+        intra_threads: None,
     })
 }
 

@@ -32,7 +32,8 @@ USAGE:
   rtt solve <instance.json> --budget B [--solver <name>] [--alpha A] [--plan]
   rtt min-resource <instance.json> --target T [--solver <name>] [--alpha A]
   rtt curve <instance.json> --budgets a:b:step|a,b,c [--alpha A] [--out PATH]
-  rtt batch <corpus.ndjson> [--threads N] [--solver all|<name>] [--out PATH] [--lint-first]
+  rtt batch <corpus.ndjson> [--threads N] [--solve-threads N] [--solver all|<name>]
+            [--out PATH] [--lint-first]
             [--max-pivots P] [--max-sim-events E] [--on-exhaustion hard-reject|degrade|soft-warn]
             [--reuse-cache] [--cache-capacity N] [--cache-save PATH] [--cache-load PATH]
   rtt lint <corpus.ndjson|instance.json> [--format human|ndjson]
@@ -64,6 +65,15 @@ Loaded entries are untrusted until served: full key comparison plus
 fresh analytic + simulation re-certification, and a corrupt or
 version-mismatched file fails the command without loading anything
 (see the rtt_cli::batch docs).
+
+Batch `--threads` (inter-request workers) defaults to the host's
+available parallelism clamped to [1, 8]; `--solve-threads` (also on
+solve/min-resource/curve, default 1, or the RTT_SOLVE_THREADS
+environment variable) turns on the deterministic *intra*-solve
+parallel paths — chunked LP pricing, subtree-parallel SP-DP, sharded
+certification replay. Both are cost knobs only: output is
+byte-identical at every setting, and worker counts print to stderr,
+never to the wire.
 
 The batch `--max-*` / `--on-exhaustion` flags apply a resource budget
 to every corpus line that declares no `max_*` field of its own
@@ -217,6 +227,7 @@ fn solve_via_registry(
         deadline: None,
         seed: args.flag("seed")?.unwrap_or(0),
         budget: None,
+        intra_threads: args.flag("solve-threads")?,
     };
     let mut reports = execute_one(&registry, &req, Instant::now());
     let report = reports.pop().expect("named selection yields one report");
@@ -307,6 +318,7 @@ fn cmd_curve(args: &Args) -> Result<(), String> {
     let registry = Registry::standard();
     let mut req = SolveRequest::sweep("curve", Arc::new(PreparedInstance::new(arc)), budgets.clone());
     req.alpha = alpha;
+    req.intra_threads = args.flag("solve-threads")?;
     let started = Instant::now();
     let reports = execute_one(&registry, &req, Instant::now());
     let wall = started.elapsed();
@@ -345,7 +357,19 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
         .ok_or("missing corpus path (NDJSON, one request per line)")?;
     let corpus =
         std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let threads: usize = args.flag("threads")?.unwrap_or(1);
+    // default batch width: the host's available parallelism, clamped to
+    // [1, 8] — enough to saturate small boxes without oversubscribing
+    // big ones by default; `--threads N` overrides. Worker counts are
+    // cost knobs: they print to stderr only and never reach the wire.
+    let threads: usize = args
+        .flag("threads")?
+        .unwrap_or_else(|| rtt_par::available().clamp(1, 8));
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    // intra-solve threads for the deterministic parallel paths inside
+    // each request (rtt_par); like --threads, cost-only and off-wire
+    let solve_threads: Option<usize> = args.flag("solve-threads")?;
     let solver: String = args.flag("solver")?.unwrap_or_else(|| "all".into());
     let mut registry = Registry::standard();
     // fault-injection fixtures are opt-in and name-addressed only: they
@@ -437,6 +461,11 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
     if let Some(spec) = default_budget {
         for req in &mut requests {
             req.budget = req.budget.or(Some(spec));
+        }
+    }
+    if let Some(n) = solve_threads {
+        for req in &mut requests {
+            req.intra_threads = Some(n);
         }
     }
     let out = run_batch_cached(&registry, requests, threads, reuse.as_ref());

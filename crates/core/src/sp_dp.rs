@@ -298,6 +298,260 @@ pub fn solve_sp_tree_metered(
     Ok((root_table, alloc, stats))
 }
 
+/// One subtree's evaluation: its root table plus the per-node
+/// artifacts ([`SpDpStats`], parallel-split choices, leaf durations)
+/// the caller scatters back into id-indexed slots. Keyed by node id,
+/// so merging is independent of which worker produced what.
+struct SubEval {
+    table: Vec<Time>,
+    splits: Vec<(u32, Vec<u32>)>,
+    durs: Vec<(u32, Duration)>,
+    stats: SpDpStats,
+}
+
+/// Post-order of the subtree rooted at `root` (iterative — decomposition
+/// trees of long chains are spine-deep).
+fn subtree_post_order(tree: &SpTree, root: rtt_dag::sp::SpNodeId) -> Vec<rtt_dag::sp::SpNodeId> {
+    let mut out = Vec::new();
+    let mut stack = vec![(root, false)];
+    while let Some((id, expanded)) = stack.pop() {
+        if expanded {
+            out.push(id);
+            continue;
+        }
+        stack.push((id, true));
+        if let SpKind::Series(x, y) | SpKind::Parallel(x, y) = tree.kind(id) {
+            stack.push((y, false));
+            stack.push((x, false));
+        }
+    }
+    out
+}
+
+/// Serially evaluates one subtree with its own [`TableArena`] (the
+/// deterministic per-subtree arena handout: a worker's allocations
+/// never depend on what other workers are doing). Tables live on a
+/// value stack in post-order, so liveness stays bounded by the subtree
+/// depth exactly as in the whole-tree walk.
+fn eval_subtree_serial(
+    tree: &SpTree,
+    duration_of: &(impl Fn(EdgeId) -> Duration + Sync),
+    b: usize,
+    root: rtt_dag::sp::SpNodeId,
+) -> SubEval {
+    let mut arena = TableArena::default();
+    let mut stats = SpDpStats::default();
+    let mut splits = Vec::new();
+    let mut durs = Vec::new();
+    let mut stack: Vec<Vec<Time>> = Vec::new();
+    for id in subtree_post_order(tree, root) {
+        let table = match tree.kind(id) {
+            SpKind::Leaf(e) => {
+                let dur = duration_of(e);
+                let mut t = arena.alloc();
+                t.extend((0..=b).map(|l| dur.time(l as Resource)));
+                durs.push((id.index() as u32, dur));
+                stats.leaves += 1;
+                t
+            }
+            SpKind::Series(..) => {
+                let ty = stack.pop().expect("post-order");
+                let tx = stack.pop().expect("post-order");
+                let mut t = arena.alloc();
+                t.extend(tx.iter().zip(&ty).map(|(&a, &b)| a.saturating_add(b)));
+                arena.recycle(tx);
+                arena.recycle(ty);
+                stats.series += 1;
+                t
+            }
+            SpKind::Parallel(..) => {
+                let ty = stack.pop().expect("post-order");
+                let tx = stack.pop().expect("post-order");
+                let mut t = arena.alloc();
+                let mut choice = Vec::with_capacity(b + 1);
+                let steps = parallel_merge_monotone(&tx, &ty, &mut t, &mut choice);
+                stats.merge_steps += steps;
+                arena.recycle(tx);
+                arena.recycle(ty);
+                splits.push((id.index() as u32, choice));
+                stats.parallels += 1;
+                t
+            }
+        };
+        stats.cells += (b + 1) as u64;
+        stack.push(table);
+    }
+    stats.peak_live_tables = arena.peak;
+    SubEval {
+        table: stack.pop().expect("subtree evaluated"),
+        splits,
+        durs,
+        stats,
+    }
+}
+
+/// Subtree sizes (node counts), id-indexed.
+fn subtree_sizes(tree: &SpTree) -> Vec<u32> {
+    let mut sizes = vec![1u32; tree.len()];
+    for id in tree.post_order() {
+        if let SpKind::Series(x, y) | SpKind::Parallel(x, y) = tree.kind(id) {
+            sizes[id.index()] = 1 + sizes[x.index()] + sizes[y.index()];
+        }
+    }
+    sizes
+}
+
+/// Don't split a subtree smaller than this (the pieces would be all
+/// handout overhead), and stop once the frontier reaches this many
+/// pieces (enough slack for [`rtt_par::MAX_THREADS`] without shredding
+/// locality).
+const SPLIT_MIN_NODES: u32 = 64;
+const FRONTIER_TARGET: usize = 32;
+
+/// [`solve_sp_tree_with_stats`] with independent subtrees evaluated
+/// concurrently. Bit-identical output at any `threads` value:
+///
+/// * the tree is cut into a **frontier** of subtrees by repeatedly
+///   splitting the largest piece (ties to the smaller node id) — a
+///   pure function of the tree, *independent of the thread count*, so
+///   even the work counters don't vary with `threads`;
+/// * frontier subtrees evaluate in parallel (`rtt_par::map_chunks`,
+///   one chunk per subtree, each with its own deterministic
+///   [`TableArena`]), producing per-node artifacts keyed by node id;
+/// * the **crown** — the internal nodes above the frontier — merges
+///   serially in post-order on the calling thread.
+///
+/// `cells` and `merge_steps` (and therefore any `dp_merge_steps`
+/// charging built on them) equal the serial walk's exactly; only
+/// `peak_live_tables` differs (the whole frontier is live at the crown,
+/// where the serial walk recycles as it goes) — and deterministically
+/// so, since the frontier doesn't depend on `threads`. Metered runs
+/// stay on the serial walk (see [`solve_sp_exact_with_tree_metered`]):
+/// mid-solve exhaustion points must not depend on evaluation order.
+pub fn solve_sp_tree_par(
+    tree: &SpTree,
+    duration_of: impl Fn(EdgeId) -> Duration + Sync,
+    budget: Resource,
+    threads: usize,
+) -> SpDpSolution {
+    let b = budget as usize;
+    let sizes = subtree_sizes(tree);
+
+    // ---- fixed frontier: split the largest piece until pieces run out
+    let mut frontier = vec![tree.root()];
+    let mut crown: Vec<bool> = vec![false; tree.len()];
+    while frontier.len() < FRONTIER_TARGET {
+        let candidate = frontier
+            .iter()
+            .enumerate()
+            .filter(|(_, id)| {
+                sizes[id.index()] >= SPLIT_MIN_NODES
+                    && !matches!(tree.kind(**id), SpKind::Leaf(_))
+            })
+            .max_by_key(|(_, id)| (sizes[id.index()], std::cmp::Reverse(id.index())));
+        let Some((slot, _)) = candidate else { break };
+        let id = frontier.swap_remove(slot);
+        crown[id.index()] = true;
+        let (SpKind::Series(x, y) | SpKind::Parallel(x, y)) = tree.kind(id) else {
+            unreachable!("leaf filtered above");
+        };
+        frontier.push(x);
+        frontier.push(y);
+    }
+    frontier.sort_by_key(|id| id.index());
+
+    // ---- evaluate the frontier (one chunk per subtree, in order)
+    let evals = rtt_par::map_chunks(frontier.len(), 1, threads, |i, _| {
+        eval_subtree_serial(tree, &duration_of, b, frontier[i])
+    });
+
+    // ---- scatter artifacts; merge the crown serially in post-order
+    let mut stats = SpDpStats::default();
+    let mut tables: Vec<Option<Vec<Time>>> = vec![None; tree.len()];
+    let mut splits: Vec<Option<Vec<u32>>> = vec![None; tree.len()];
+    let mut durs: Vec<Option<Duration>> = vec![None; tree.len()];
+    let frontier_live = evals.len();
+    for (root, eval) in frontier.iter().zip(evals) {
+        let SubEval {
+            table,
+            splits: s,
+            durs: d,
+            stats: st,
+        } = eval;
+        tables[root.index()] = Some(table);
+        for (idx, choice) in s {
+            splits[idx as usize] = Some(choice);
+        }
+        for (idx, dur) in d {
+            durs[idx as usize] = Some(dur);
+        }
+        stats.leaves += st.leaves;
+        stats.series += st.series;
+        stats.parallels += st.parallels;
+        stats.cells += st.cells;
+        stats.merge_steps += st.merge_steps;
+        stats.peak_live_tables = stats.peak_live_tables.max(st.peak_live_tables);
+    }
+    stats.peak_live_tables = stats.peak_live_tables.max(frontier_live);
+    for id in tree.post_order() {
+        if !crown[id.index()] {
+            continue;
+        }
+        let (SpKind::Series(x, y) | SpKind::Parallel(x, y)) = tree.kind(id) else {
+            unreachable!("crown nodes are internal");
+        };
+        let tx = tables[x.index()].take().expect("crown child evaluated");
+        let ty = tables[y.index()].take().expect("crown child evaluated");
+        let table = match tree.kind(id) {
+            SpKind::Series(..) => {
+                stats.series += 1;
+                tx.iter()
+                    .zip(&ty)
+                    .map(|(&a, &b)| a.saturating_add(b))
+                    .collect()
+            }
+            SpKind::Parallel(..) => {
+                let mut t = Vec::with_capacity(b + 1);
+                let mut choice = Vec::with_capacity(b + 1);
+                stats.merge_steps += parallel_merge_monotone(&tx, &ty, &mut t, &mut choice);
+                splits[id.index()] = Some(choice);
+                stats.parallels += 1;
+                t
+            }
+            SpKind::Leaf(_) => unreachable!("crown nodes are internal"),
+        };
+        stats.cells += (b + 1) as u64;
+        tables[id.index()] = Some(table);
+    }
+
+    let root_table = tables[tree.root().index()].take().expect("root computed");
+
+    // ---- allocation recovery: identical to the serial walk's
+    let mut alloc: Vec<(EdgeId, Resource)> = Vec::new();
+    let mut stack = vec![(tree.root(), budget)];
+    while let Some((id, lambda)) = stack.pop() {
+        match tree.kind(id) {
+            SpKind::Leaf(e) => {
+                let dur = durs[id.index()].as_ref().expect("leaf evaluated");
+                let t = dur.time(lambda);
+                let spend = dur.resource_for_time(t).unwrap_or(0);
+                alloc.push((e, spend));
+            }
+            SpKind::Series(x, y) => {
+                stack.push((x, lambda));
+                stack.push((y, lambda));
+            }
+            SpKind::Parallel(x, y) => {
+                let i = splits[id.index()].as_ref().expect("parallel split")
+                    [lambda as usize] as Resource;
+                stack.push((x, i));
+                stack.push((y, lambda - i));
+            }
+        }
+    }
+    (root_table, alloc, stats)
+}
+
 /// The pre-optimization DP (per-node `Vec` tables, naive `O(B²)`
 /// parallel scans), retained verbatim so `bench-pr1` can measure the
 /// speedup it claims and tests can differential-check the fast path.
@@ -396,12 +650,20 @@ pub fn solve_sp_exact_with_tree_metered(
     meter: Option<&BudgetMeter>,
 ) -> Result<(SpSolution, Solution), Exhausted> {
     let d = arc.dag();
-    let (curve, alloc, _) = solve_sp_tree_metered(
-        tree,
-        |e| d.edge(e).duration.clone(),
-        budget,
-        meter,
-    )?;
+    // Parallel subtree evaluation only when unmetered: exhaustion
+    // stop-points are wire-visible and must not depend on which worker
+    // charged first. (`BudgetContext` hands out no meter whenever the
+    // request declared no budget — the common case.)
+    let (curve, alloc, _) = if meter.is_none() && rtt_par::parallel_enabled() {
+        solve_sp_tree_par(
+            tree,
+            |e| d.edge(e).duration.clone(),
+            budget,
+            rtt_par::current(),
+        )
+    } else {
+        solve_sp_tree_metered(tree, |e| d.edge(e).duration.clone(), budget, meter)?
+    };
     let makespan = curve[budget as usize];
     let mut levels = vec![0u64; d.edge_count()];
     for (e, r) in &alloc {
@@ -471,8 +733,17 @@ pub fn sp_min_resource_metered(
     let Some(tree) = decompose(d, arc.source(), arc.sink()) else {
         return Ok(None);
     };
-    let (curve, _, _) =
-        solve_sp_tree_metered(&tree, |e| d.edge(e).duration.clone(), budget_cap, meter)?;
+    // same unmetered-only gate as `solve_sp_exact_with_tree_metered`
+    let (curve, _, _) = if meter.is_none() && rtt_par::parallel_enabled() {
+        solve_sp_tree_par(
+            &tree,
+            |e| d.edge(e).duration.clone(),
+            budget_cap,
+            rtt_par::current(),
+        )
+    } else {
+        solve_sp_tree_metered(&tree, |e| d.edge(e).duration.clone(), budget_cap, meter)?
+    };
     Ok(curve
         .iter()
         .position(|&t| t <= target)
@@ -682,5 +953,67 @@ mod tests {
         );
         // the arena keeps liveness near tree depth, far below m
         assert!(stats.peak_live_tables <= 18, "{stats:?}");
+    }
+
+    /// Series chain of parallel bundles: SP by construction, and big
+    /// enough (stages·width leaves) that the frontier actually splits.
+    fn staged_instance(stages: usize, width: u64) -> ArcInstance {
+        let mut g: Dag<(), Activity> = Dag::new();
+        let mut prev = g.add_node(());
+        for s in 0..stages as u64 {
+            let next = g.add_node(());
+            for i in 0..width {
+                let base = 8 + (s * 7 + i * 3) % 13;
+                let fast = 1 + (s + i) % 4;
+                g.add_edge(
+                    prev,
+                    next,
+                    Activity::new(Duration::two_point(base, fast, (i % 3) as Resource)),
+                )
+                .unwrap();
+            }
+            prev = next;
+        }
+        ArcInstance::new(g).unwrap()
+    }
+
+    #[test]
+    fn parallel_tree_eval_is_bit_identical_to_serial() {
+        let arc = staged_instance(40, 3);
+        let d = arc.dag();
+        let tree = decompose(d, arc.source(), arc.sink()).unwrap();
+        assert!(tree.len() as u32 > 2 * SPLIT_MIN_NODES, "tree too small to split");
+        let budget = 24u64;
+        let (table, alloc, stats) =
+            solve_sp_tree_with_stats(&tree, |e| d.edge(e).duration.clone(), budget);
+        for threads in [1usize, 2, 4] {
+            let (pt, pa, ps) =
+                solve_sp_tree_par(&tree, |e| d.edge(e).duration.clone(), budget, threads);
+            assert_eq!(pt, table, "threads={threads}: root table diverged");
+            assert_eq!(pa, alloc, "threads={threads}: allocation diverged");
+            // work counters are thread-count-independent and equal the
+            // serial walk's; only liveness accounting may differ
+            assert_eq!(ps.leaves, stats.leaves, "threads={threads}");
+            assert_eq!(ps.series, stats.series, "threads={threads}");
+            assert_eq!(ps.parallels, stats.parallels, "threads={threads}");
+            assert_eq!(ps.cells, stats.cells, "threads={threads}");
+            assert_eq!(ps.merge_steps, stats.merge_steps, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_tree_eval_handles_small_trees() {
+        // below SPLIT_MIN_NODES the frontier is just the root
+        let arc = serial_chain();
+        let d = arc.dag();
+        let tree = decompose(d, arc.source(), arc.sink()).unwrap();
+        for b in 0..=8u64 {
+            let (st, sa, _) =
+                solve_sp_tree_with_stats(&tree, |e| d.edge(e).duration.clone(), b);
+            let (pt, pa, _) =
+                solve_sp_tree_par(&tree, |e| d.edge(e).duration.clone(), b, 4);
+            assert_eq!(pt, st, "budget {b}");
+            assert_eq!(pa, sa, "budget {b}");
+        }
     }
 }

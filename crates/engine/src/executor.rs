@@ -322,7 +322,26 @@ fn replay_cached(req: &SolveRequest, mut hit: SolveReport) -> SolveReport {
 /// touch the warm-basis tier here: the wire path runs a self-contained
 /// crash-started chain ([`crate::curve::execute_sweep_wire`]) so its
 /// on-wire pivot counts cannot depend on cache state.
+///
+/// This is also where [`SolveRequest::intra_threads`] takes effect:
+/// the whole execution runs inside an `rtt_par::with_threads` scope
+/// (the scope is thread-local and panic-safe, so a batch worker can
+/// carry different knobs for consecutive requests without leakage).
+/// The knob never changes report bytes — `rtt_par` paths are
+/// bit-identical at every thread count.
 pub fn execute_one_cached_at(
+    registry: &Registry,
+    req: &SolveRequest,
+    queued_at: Instant,
+    queue_position: usize,
+    reuse: Option<&crate::reuse::ReuseCache>,
+) -> Vec<SolveReport> {
+    rtt_par::with_threads_opt(req.intra_threads, || {
+        execute_one_cached_inner(registry, req, queued_at, queue_position, reuse)
+    })
+}
+
+fn execute_one_cached_inner(
     registry: &Registry,
     req: &SolveRequest,
     queued_at: Instant,

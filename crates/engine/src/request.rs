@@ -73,6 +73,14 @@ pub struct SolveRequest {
     /// `None` — the default and every constructor's choice — runs the
     /// pre-budget engine behavior byte for byte.
     pub budget: Option<crate::budget::BudgetSpec>,
+    /// Intra-solve thread count for the deterministic parallel paths
+    /// (`rtt_par`): chunked LP pricing, subtree-parallel SP-DP, sharded
+    /// certification replay. `None` defers to the ambient resolution
+    /// (enclosing `rtt_par::with_threads` scope, else the
+    /// `RTT_SOLVE_THREADS` environment variable, else serial). Purely an
+    /// execution knob: reports and wire bytes are identical at every
+    /// value — only the wall clock moves.
+    pub intra_threads: Option<usize>,
 }
 
 impl SolveRequest {
@@ -92,6 +100,7 @@ impl SolveRequest {
             deadline: None,
             seed: 0,
             budget: None,
+            intra_threads: None,
         }
     }
 
@@ -110,6 +119,7 @@ impl SolveRequest {
             deadline: None,
             seed: 0,
             budget: None,
+            intra_threads: None,
         }
     }
 
@@ -130,12 +140,21 @@ impl SolveRequest {
             deadline: None,
             seed: 0,
             budget: None,
+            intra_threads: None,
         }
     }
 
     /// Selects a single solver by name.
     pub fn with_solver(mut self, name: impl Into<String>) -> Self {
         self.solver = SolverSelection::Named(name.into());
+        self
+    }
+
+    /// Sets the intra-solve thread count (clamped by `rtt_par` to
+    /// `1..=`[`rtt_par::MAX_THREADS`] when applied). Never changes what
+    /// the request emits, only what it costs.
+    pub fn with_intra_threads(mut self, threads: usize) -> Self {
+        self.intra_threads = Some(threads);
         self
     }
 }

@@ -675,6 +675,88 @@ impl<'a> Rev<'a> {
             && self.upper[j] > 0.0
     }
 
+    /// The bound-violation a pricing candidate would repair: positive
+    /// iff entering `j` improves the current phase objective.
+    #[inline]
+    fn violation(&self, j: usize, y: &[f64]) -> f64 {
+        let rc = self.rc(j, y);
+        match self.status[j] {
+            VStat::Lower => -rc,
+            VStat::Upper => rc,
+            VStat::Basic(_) => unreachable!("basic columns are not priced"),
+        }
+    }
+
+    /// Serial pricing over `range`: Dantzig picks the first column
+    /// attaining the maximum violation (strict `>`, so the lowest index
+    /// wins ties); Bland returns at the first violating column.
+    fn price_range(
+        &self,
+        range: std::ops::Range<usize>,
+        y: &[f64],
+        bland: bool,
+    ) -> (Option<usize>, f64) {
+        let mut enter: Option<usize> = None;
+        let mut best = TOL;
+        for j in range {
+            if !self.priceable(j) {
+                continue;
+            }
+            let viol = self.violation(j, y);
+            if viol > best {
+                enter = Some(j);
+                if bland {
+                    break;
+                }
+                best = viol;
+            }
+        }
+        (enter, best)
+    }
+
+    /// Pricing: picks the entering column. When more than one
+    /// intra-solve thread is in effect (`rtt_par`), the column scan
+    /// runs over **fixed chunks** in parallel and the entering variable
+    /// is chosen by an ordered (chunk-index-tiebroken) reduction —
+    /// bit-identical to the serial scan at any thread count:
+    ///
+    /// * Dantzig uses a strict `>` against the running best, so the
+    ///   serial winner is the *first* column attaining the global
+    ///   maximum violation. Per-chunk winners use the same strict
+    ///   comparison, and the in-order fold keeps an earlier chunk's
+    ///   winner on ties — every chunk before the serial winner's has a
+    ///   strictly smaller local maximum, so the fold lands on the same
+    ///   column with the same float compared the same way.
+    /// * Bland takes the first violating column: the first chunk (in
+    ///   index order) with a violation contributes its first violating
+    ///   column, which is the serial first hit.
+    ///
+    /// (The dual ratio-test scan is *not* parallelized: its ε-window
+    /// tie-break is history-dependent, not an associative reduction —
+    /// see the module docs of `rtt_par`.)
+    fn price(&self, y: &[f64], bland: bool, threads: usize) -> Option<usize> {
+        let n = self.n_cols;
+        if threads <= 1 && !rtt_par::chunking_forced() {
+            return self.price_range(0..n, y, bland).0;
+        }
+        let parts = rtt_par::map_chunks(n, rtt_par::DEFAULT_CHUNK, threads, |_, range| {
+            self.price_range(range, y, bland)
+        });
+        let mut enter: Option<usize> = None;
+        let mut best = TOL;
+        for (e, b) in parts {
+            let Some(j) = e else { continue };
+            if bland {
+                return Some(j);
+            }
+            if b > best {
+                best = b;
+                enter = Some(j);
+            }
+        }
+        enter
+    }
+
     /// Moves nonbasic `j` to its opposite bound (`d = B⁻¹ A_j`).
     fn apply_flip(&mut self, j: usize, d: &[f64]) {
         let u = self.upper[j];
@@ -743,6 +825,7 @@ impl<'a> Rev<'a> {
             PivotRule::Bland => 0,
         };
         let hard_cap = 2_000 * (m + n) + 100_000;
+        let threads = rtt_par::current();
         let mut y = Vec::new();
         let mut d = Vec::new();
         let mut iters = 0usize;
@@ -752,29 +835,10 @@ impl<'a> Rev<'a> {
                 return LoopEnd::Fail;
             }
             let bland = iters > bland_after;
-            // --- pricing
+            // --- pricing (chunk-parallel when intra-solve threads > 1;
+            // bit-identical entering choice either way — see `price`)
             self.multipliers(&mut y);
-            let mut enter: Option<usize> = None;
-            let mut best = TOL;
-            for j in 0..n {
-                if !self.priceable(j) {
-                    continue;
-                }
-                let rc = self.rc(j, &y);
-                let viol = match self.status[j] {
-                    VStat::Lower => -rc,
-                    VStat::Upper => rc,
-                    VStat::Basic(_) => unreachable!(),
-                };
-                if viol > best {
-                    enter = Some(j);
-                    if bland {
-                        break;
-                    }
-                    best = viol;
-                }
-            }
-            let Some(q) = enter else {
+            let Some(q) = self.price(&y, bland, threads) else {
                 return LoopEnd::Optimal;
             };
             let from_upper = matches!(self.status[q], VStat::Upper);

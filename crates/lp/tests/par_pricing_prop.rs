@@ -1,0 +1,62 @@
+//! Differential property test for deterministic parallel pricing:
+//! **a thread count may change what a run costs, never what it
+//! emits.** On random LPs — feasible, infeasible, unbounded, and
+//! degenerate alike — the revised engine must produce bit-identical
+//! outcomes (same verdict, same `x` bits, same pivot sequence as
+//! witnessed by every `LpStats` counter) at 1, 2, and 4 intra-solve
+//! threads, and down the forced-chunking path at 1 thread (the
+//! "parallel path without spawning" the overhead bench measures).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtt_lp::{Cmp, Engine, Problem};
+
+fn random_problem(rng: &mut StdRng) -> Problem {
+    let n = rng.random_range(1..8usize);
+    let mut p = Problem::minimize(n);
+    for j in 0..n {
+        p.set_objective(j, rng.random_range(-4..5i32) as f64);
+        if rng.random_bool(0.5) {
+            p.set_upper_bound(j, rng.random_range(0..6i32) as f64);
+        }
+    }
+    for _ in 0..rng.random_range(1..6usize) {
+        let coeffs: Vec<(usize, f64)> = (0..n)
+            .map(|j| (j, rng.random_range(-3..4i32) as f64))
+            .collect();
+        let rhs = rng.random_range(-4..9i32) as f64;
+        let cmp = match rng.random_range(0..3u8) {
+            0 => Cmp::Le,
+            1 => Cmp::Ge,
+            _ => Cmp::Eq,
+        };
+        p.add_row(&coeffs, cmp, rhs);
+    }
+    p
+}
+
+/// The exact-comparison form: `Debug` covers the verdict, every `x`
+/// bit (f64 `Debug` is injective, `-0.0` included), the objective, and
+/// the full `LpStats` counter block — pivot counts, bound flips,
+/// refactorizations. Any pricing divergence shows up here.
+fn outcome_repr(p: &Problem) -> String {
+    format!("{:?}", p.solve_with(Engine::Revised))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pricing_is_bit_identical_at_any_thread_count(seed in 0u64..10_000) {
+        let p = random_problem(&mut StdRng::seed_from_u64(seed));
+        let serial = outcome_repr(&p);
+        // the chunked selection path at 1 thread (no workers spawned)
+        let forced = rtt_par::with_forced_chunking(|| outcome_repr(&p));
+        prop_assert_eq!(&forced, &serial, "forced chunking diverged");
+        for threads in [2usize, 4] {
+            let par = rtt_par::with_threads(threads, || outcome_repr(&p));
+            prop_assert_eq!(&par, &serial, "diverged at {} threads", threads);
+        }
+    }
+}
